@@ -1,0 +1,71 @@
+// Command ap3esm runs the coupled model at one of the Table 1
+// configurations (scale-mapped to runnable grids) and reports diagnostics
+// and the measured SYPD.
+//
+//	ap3esm -config 25v10 -days 1 -ranks 2 -backend Host -mixed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/pp"
+	"repro/internal/precision"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ap3esm: ")
+	label := flag.String("config", "25v10", "coupled configuration label (1v1, 3v2, 6v3, 10v5, 25v10)")
+	days := flag.Float64("days", 1, "simulated days to run")
+	ranks := flag.Int("ranks", 1, "process count for the ocean/ice domain")
+	backend := flag.String("backend", "Serial", "execution space: Serial, Host, CPE")
+	mixed := flag.Bool("mixed", false, "run the dynamical cores in FP64/FP32 group-scaled mixed precision")
+	flag.Parse()
+
+	cfg, err := core.ConfigForLabel(*label)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *mixed {
+		cfg.Policy = precision.Mixed
+	}
+	sp, err := pp.DefaultSpace(*backend)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	stop := start.Add(time.Duration(*days*24) * time.Hour)
+
+	fmt.Printf("AP3ESM %s (stands for %d km atm / %d km ocn): atm icos level %d, ocean %dx%dx%d, %d ranks, %s backend, %v\n",
+		cfg.Label, cfg.PaperAtmKm, cfg.PaperOcnKm, cfg.AtmLevel,
+		cfg.OcnNX, cfg.OcnNY, cfg.OcnNLev, *ranks, sp.Name(), cfg.Policy)
+
+	par.Run(*ranks, func(c *par.Comm) {
+		e, err := core.New(cfg, c, start, stop, sp)
+		if err != nil {
+			log.Fatal(err)
+		}
+		wall := time.Now()
+		daysRun := 0.0
+		for e.Step() {
+			daysRun = e.SimulatedSeconds() / 86400
+			if c.Rank() == 0 && e.CouplingSteps()%45 == 0 {
+				minPs, _ := e.Atm.MinPs()
+				fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
+					daysRun, e.Atm.MaxWind(), minPs, e.Ocn.SurfaceKineticEnergy(), e.Ice.IceArea())
+			}
+		}
+		if c.Rank() == 0 {
+			elapsed := time.Since(wall).Seconds()
+			sypd := (e.SimulatedSeconds() / elapsed) * 86400 / (365 * 86400)
+			fmt.Printf("completed %.2f simulated days in %.1f s wall -> %.2f SYPD (miniature configuration)\n",
+				daysRun, elapsed, sypd)
+		}
+	})
+}

@@ -1,0 +1,106 @@
+// Command tables regenerates the paper's tables and figures from the
+// calibrated models and prints them as text:
+//
+//	tables -table 1      Table 1  (model configurations / grid counts)
+//	tables -table 2      Table 2  (strong scaling, ORISE + Sunway)
+//	tables -fig 2        Figure 2 (state-of-the-art scatter and line)
+//	tables -fig 8a       Figure 8a (strong-scaling curves)
+//	tables -fig 8b       Figure 8b (weak-scaling ladders)
+//	tables -all          everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("tables: ")
+	table := flag.Int("table", 0, "table number to print (1 or 2)")
+	fig := flag.String("fig", "", "figure to print (2, 8a, 8b)")
+	all := flag.Bool("all", false, "print every table and figure")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	m, err := perfmodel.NewModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *all || *table == 1 {
+		fmt.Println("=== Table 1: model configurations (regenerated from grid formulas/catalogs) ===")
+		fmt.Print(perfmodel.FormatTable1(perfmodel.Table1()))
+		fmt.Println()
+	}
+	if *all || *table == 2 {
+		fmt.Println("=== Table 2: strong scaling (paper vs calibrated model) ===")
+		fmt.Print(perfmodel.FormatTable2(m.Table2()))
+		fmt.Println()
+	}
+	if *all || *fig == "2" {
+		fmt.Println("=== Figure 2: state of the art ===")
+		entries := perfmodel.Figure2Entries()
+		line := perfmodel.FitSOTALine(entries)
+		fmt.Printf("SOTA line: log10(SYPD) = %.4f·log10(points) + %.4f\n", line.Slope, line.Intercept)
+		for _, e := range entries {
+			above, factor := line.Above(e)
+			tag := " "
+			if e.ThisWork {
+				tag = "*"
+			}
+			fmt.Printf("%s %-20s %d  %9.3g pts  %5.2f SYPD  line %5.2f  above=%-5v (%.2fx)\n",
+				tag, e.Name, e.Year, e.GridPoints, e.SYPD, line.At(e.GridPoints), above, factor)
+		}
+		fmt.Println()
+	}
+	if *all || *fig == "8a" {
+		fmt.Println("=== Figure 8a: strong scaling curves ===")
+		for _, id := range m.IDs() {
+			label, pts, err := m.Fig8aSeries(id, 8)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s (%s):\n", label, id)
+			for _, p := range pts {
+				mark := ""
+				if p.IsAnchor {
+					mark = fmt.Sprintf("   <- paper %.4g", p.Paper)
+				}
+				fmt.Printf("  %8d nodes  %12.0f  %9.4f SYPD%s\n", p.Nodes, p.Resource, p.SYPD, mark)
+			}
+		}
+		aLo, aHi, _ := m.SpeedupRange(perfmodel.CurveATM3MPE, perfmodel.CurveATM3CPE, true)
+		oLo, oHi, _ := m.SpeedupRange(perfmodel.CurveOCN2MPE, perfmodel.CurveOCN2CPE, true)
+		fmt.Printf("CPE+OPT over MPE: ATM %.0f-%.0fx (paper 112-184), OCN %.0f-%.0fx (paper 84-150)\n\n", aLo, aHi, oLo, oHi)
+	}
+	if *all || *fig == "8b" {
+		fmt.Println("=== Figure 8b: weak scaling ===")
+		atm, err := m.WeakSeries(perfmodel.CurveATM3CPE, perfmodel.ATMWeakLadder())
+		if err != nil {
+			log.Fatal(err)
+		}
+		ocn, err := m.WeakSeries(perfmodel.CurveOCN2CPE, perfmodel.OCNWeakLadder())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("atmosphere (paper final efficiency 87.85%):")
+		for _, p := range atm {
+			fmt.Printf("  %3d km  %6d nodes  %9d cores  %7.4f SYPD  eff %6.2f%%\n",
+				p.ResKm, p.Nodes, p.Cores, p.SYPD, 100*p.Efficiency)
+		}
+		fmt.Println("ocean (paper final efficiency 96.57%):")
+		for _, p := range ocn {
+			fmt.Printf("  %3d km  %6d nodes  %9d cores  %7.4f SYPD  eff %6.2f%%\n",
+				p.ResKm, p.Nodes, p.Cores, p.SYPD, 100*p.Efficiency)
+		}
+	}
+}

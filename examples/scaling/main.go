@@ -1,0 +1,73 @@
+// Scaling: drive the calibrated performance model through the paper's
+// headline scaling questions — the Fig 8a curves, the weak-scaling ladders,
+// and the two-domain layout optimization — from the public perfmodel API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/perfmodel"
+)
+
+func main() {
+	log.SetFlags(0)
+	m, err := perfmodel.NewModel()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Strong scaling: where does the 1 km coupled model land at full scale?
+	c1v1 := m.MustCurve(perfmodel.CurveESM1v1)
+	fmt.Printf("1v1 coupled AP3ESM at 37.2M cores: %.2f SYPD (paper 0.54)\n", c1v1.SYPD(37172980))
+	fmt.Printf("  strong-scaling efficiency 8.7M -> 37.2M cores: %.1f%% (paper 90.7%%)\n",
+		100*c1v1.Efficiency(8745360, 37172980))
+
+	// Component cost anatomy: why efficiency falls (Fig 8a bend).
+	atm := m.MustCurve(perfmodel.CurveATM3CPE)
+	for _, cores := range []float64{2129920, 8519680, 17039360} {
+		comp, halo, coll := atm.Breakdown(cores)
+		fmt.Printf("  3 km ATM at %8.0f cores: compute %4.1f%%, halo %4.1f%%, collectives %4.1f%%\n",
+			cores, 100*comp, 100*halo, 100*coll)
+	}
+
+	// Weak scaling ladders (Fig 8b).
+	for _, spec := range []struct {
+		id     string
+		ladder []perfmodel.WeakRung
+		name   string
+	}{
+		{perfmodel.CurveATM3CPE, perfmodel.ATMWeakLadder(), "atmosphere"},
+		{perfmodel.CurveOCN2CPE, perfmodel.OCNWeakLadder(), "ocean"},
+	} {
+		series, err := m.WeakSeries(spec.id, spec.ladder)
+		if err != nil {
+			log.Fatal(err)
+		}
+		last := series[len(series)-1]
+		fmt.Printf("%s weak scaling to %d nodes: %.2f%% efficiency\n",
+			spec.name, last.Nodes, 100*last.Efficiency)
+	}
+
+	// Task-layout optimization (§5.1.2): how to split a 30M-core allocation.
+	ocn := m.MustCurve(perfmodel.CurveOCN2CPE)
+	cpl := perfmodel.ImpliedCouplerTime(m.MustCurve(perfmodel.CurveESM3v2), atm, ocn, 3e7)
+	seq := perfmodel.SequentialLayout(atm, ocn, 3e7, cpl)
+	conc, err := perfmodel.OptimalSplit(atm, ocn, 3e7, cpl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("3v2 on 30M cores: sequential layout %.2f SYPD; concurrent two-domain %.2f SYPD at %.0f%% atmosphere share\n",
+		seq.SYPD, conc.SYPD, 100*conc.AtmFraction)
+
+	// Projection: the full Table 1 ladder at near-full-system scale — the
+	// paper only measured the 3v2 and 1v1 rungs.
+	ladder, err := m.ProjectionLadder(3.6e7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("projected coupled ladder at 36M cores (paper measured 3v2=1.01, 1v1=0.54):")
+	for _, p := range ladder {
+		fmt.Printf("  %-6s %7.2f SYPD  (atm share %.0f%%)\n", p.Label, p.SYPD, 100*p.AtmShare)
+	}
+}

@@ -1,0 +1,93 @@
+package aiphys
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+)
+
+// Trained-suite persistence: the networks and normalization statistics are
+// serialized together so a trained AI physics suite deploys into any
+// compatible atmosphere configuration without retraining — the paper's
+// suite is likewise trained once on high-resolution output and reused
+// across resolutions.
+
+// suiteFile is the on-disk representation.
+type suiteFile struct {
+	Version  int
+	CNNWidth int
+	MLPWidth int
+	NLev     int
+	CNNVals  [][]float32
+	MLPVals  [][]float32
+	Mean     []float64
+	Std      []float64
+}
+
+const suiteFileVersion = 1
+
+// Save writes the suite's weights and normalizer to path.
+func (s *Suite) Save(path string) error {
+	f := suiteFile{
+		Version:  suiteFileVersion,
+		CNNWidth: s.CNN.Width,
+		MLPWidth: s.MLP.Width,
+		NLev:     s.nlev,
+		CNNVals:  s.CNN.Params.vals,
+		MLPVals:  s.MLP.Params.vals,
+		Mean:     s.Norm.Mean,
+		Std:      s.Norm.Std,
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(&f); err != nil {
+		return fmt.Errorf("aiphys: encoding suite: %w", err)
+	}
+	return os.WriteFile(path, buf.Bytes(), 0o644)
+}
+
+// LoadWeights reconstructs the networks and normalizer from a file written
+// by Save. The caller supplies the diagnostic module (it is model-bound and
+// not serialized).
+func LoadWeights(path string) (*TendencyNet, *RadiationNet, *Normalizer, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("aiphys: %w", err)
+	}
+	var f suiteFile
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&f); err != nil {
+		return nil, nil, nil, fmt.Errorf("aiphys: decoding suite: %w", err)
+	}
+	if f.Version != suiteFileVersion {
+		return nil, nil, nil, fmt.Errorf("aiphys: suite file version %d, want %d", f.Version, suiteFileVersion)
+	}
+	// Rebuild architectures (deterministic layout), then overwrite weights.
+	rng := rand.New(rand.NewSource(0)) // weights are overwritten below
+	cnn := NewTendencyNet(f.CNNWidth, f.NLev, rng)
+	mlp := NewRadiationNet(f.MLPWidth, f.NLev, rng)
+	if err := restoreVals(cnn.Params, f.CNNVals, "CNN"); err != nil {
+		return nil, nil, nil, err
+	}
+	if err := restoreVals(mlp.Params, f.MLPVals, "MLP"); err != nil {
+		return nil, nil, nil, err
+	}
+	if len(f.Mean) != nVars || len(f.Std) != nVars {
+		return nil, nil, nil, fmt.Errorf("aiphys: normalizer has %d/%d slots, want %d", len(f.Mean), len(f.Std), nVars)
+	}
+	norm := &Normalizer{Mean: f.Mean, Std: f.Std}
+	return cnn, mlp, norm, nil
+}
+
+func restoreVals(p *ParamSet, vals [][]float32, what string) error {
+	if len(vals) != len(p.vals) {
+		return fmt.Errorf("aiphys: %s file has %d tensors, architecture has %d", what, len(vals), len(p.vals))
+	}
+	for i := range vals {
+		if len(vals[i]) != len(p.vals[i]) {
+			return fmt.Errorf("aiphys: %s tensor %d has %d values, want %d", what, i, len(vals[i]), len(p.vals[i]))
+		}
+		copy(p.vals[i], vals[i])
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package atmos
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// reconstructor recovers full tangent-plane velocity vectors at cell
+// centers from edge-normal components, by per-cell least squares over the
+// cell's edges. The weights are precomputed once from the mesh geometry;
+// a constant vector field is reconstructed exactly because each cell's edge
+// normals span its tangent plane.
+type reconstructor struct {
+	mesh *grid.IcosMesh
+	// For each cell, the 3×nEdges pseudo-inverse rows flattened:
+	// uVec(cell) = Σ_e w[cell][e] · u_e, with w a 3-vector per edge.
+	weights [][]grid.Vec3
+	// normal3 is the unit normal direction of each edge (pointing c1→c2,
+	// tangent to the sphere at the edge midpoint).
+	normal3 []grid.Vec3
+	// east and north are the local unit vectors at each cell center, used
+	// to express reconstructed vectors as (zonal, meridional) components.
+	east, north []grid.Vec3
+}
+
+func newReconstructor(mesh *grid.IcosMesh) *reconstructor {
+	r := &reconstructor{mesh: mesh}
+	ne := mesh.NEdges()
+	r.normal3 = make([]grid.Vec3, ne)
+	for e := 0; e < ne; e++ {
+		c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
+		mid := mesh.EdgeMidpoint[e]
+		n := mesh.CellCenter[c2].Sub(mesh.CellCenter[c1])
+		// Project onto the tangent plane at the midpoint.
+		n = n.Sub(mid.Scale(n.Dot(mid))).Normalize()
+		r.normal3[e] = n
+	}
+
+	nc := mesh.NCells()
+	r.weights = make([][]grid.Vec3, nc)
+	r.east = make([]grid.Vec3, nc)
+	r.north = make([]grid.Vec3, nc)
+	for c := 0; c < nc; c++ {
+		p := mesh.CellCenter[c]
+		lon, lat := mesh.LonCell[c], mesh.LatCell[c]
+		r.east[c] = grid.Vec3{X: -math.Sin(lon), Y: math.Cos(lon), Z: 0}
+		r.north[c] = grid.Vec3{
+			X: -math.Sin(lat) * math.Cos(lon),
+			Y: -math.Sin(lat) * math.Sin(lon),
+			Z: math.Cos(lat),
+		}
+
+		edges := mesh.EdgesOnCell[c]
+		// Solve min Σ_e (v·n_e − u_e)² for v in the tangent plane at p:
+		// v = (Σ n nᵀ + λ p pᵀ)⁻¹ Σ n u — the p pᵀ term pins the radial
+		// component to zero.
+		var a [3][3]float64
+		for _, e := range edges {
+			n := r.normal3[e]
+			a[0][0] += n.X * n.X
+			a[0][1] += n.X * n.Y
+			a[0][2] += n.X * n.Z
+			a[1][1] += n.Y * n.Y
+			a[1][2] += n.Y * n.Z
+			a[2][2] += n.Z * n.Z
+		}
+		const lambda = 10.0
+		a[0][0] += lambda * p.X * p.X
+		a[0][1] += lambda * p.X * p.Y
+		a[0][2] += lambda * p.X * p.Z
+		a[1][1] += lambda * p.Y * p.Y
+		a[1][2] += lambda * p.Y * p.Z
+		a[2][2] += lambda * p.Z * p.Z
+		a[1][0], a[2][0], a[2][1] = a[0][1], a[0][2], a[1][2]
+
+		inv := invert3(a)
+		w := make([]grid.Vec3, len(edges))
+		for i, e := range edges {
+			n := r.normal3[e]
+			w[i] = grid.Vec3{
+				X: inv[0][0]*n.X + inv[0][1]*n.Y + inv[0][2]*n.Z,
+				Y: inv[1][0]*n.X + inv[1][1]*n.Y + inv[1][2]*n.Z,
+				Z: inv[2][0]*n.X + inv[2][1]*n.Y + inv[2][2]*n.Z,
+			}
+		}
+		r.weights[c] = w
+	}
+	return r
+}
+
+// invert3 inverts a symmetric 3×3 matrix by cofactors.
+func invert3(a [3][3]float64) [3][3]float64 {
+	det := a[0][0]*(a[1][1]*a[2][2]-a[1][2]*a[2][1]) -
+		a[0][1]*(a[1][0]*a[2][2]-a[1][2]*a[2][0]) +
+		a[0][2]*(a[1][0]*a[2][1]-a[1][1]*a[2][0])
+	inv := [3][3]float64{}
+	if det == 0 {
+		return inv
+	}
+	d := 1 / det
+	inv[0][0] = (a[1][1]*a[2][2] - a[1][2]*a[2][1]) * d
+	inv[0][1] = (a[0][2]*a[2][1] - a[0][1]*a[2][2]) * d
+	inv[0][2] = (a[0][1]*a[1][2] - a[0][2]*a[1][1]) * d
+	inv[1][0] = (a[1][2]*a[2][0] - a[1][0]*a[2][2]) * d
+	inv[1][1] = (a[0][0]*a[2][2] - a[0][2]*a[2][0]) * d
+	inv[1][2] = (a[0][2]*a[1][0] - a[0][0]*a[1][2]) * d
+	inv[2][0] = (a[1][0]*a[2][1] - a[1][1]*a[2][0]) * d
+	inv[2][1] = (a[0][1]*a[2][0] - a[0][0]*a[2][1]) * d
+	inv[2][2] = (a[0][0]*a[1][1] - a[0][1]*a[1][0]) * d
+	return inv
+}
+
+// CellVector reconstructs the 3-D tangent velocity at cell c from one
+// level's edge field.
+func (r *reconstructor) CellVector(uEdge []float64, c int) grid.Vec3 {
+	var v grid.Vec3
+	for i, e := range r.mesh.EdgesOnCell[c] {
+		v = v.Add(r.weights[c][i].Scale(uEdge[e]))
+	}
+	return v
+}
+
+// CellUV reconstructs the zonal and meridional velocity components at cell c.
+func (r *reconstructor) CellUV(uEdge []float64, c int) (u, v float64) {
+	vec := r.CellVector(uEdge, c)
+	return vec.Dot(r.east[c]), vec.Dot(r.north[c])
+}
+
+// TangentAtEdge estimates the velocity component perpendicular to the edge
+// normal (the "tangential wind" needed by the Coriolis term): the mean of
+// the two adjacent cells' reconstructed vectors projected on ẑ×n̂.
+func (r *reconstructor) TangentAtEdge(uEdge []float64, e int) float64 {
+	c1, c2 := r.mesh.CellsOnEdge[e][0], r.mesh.CellsOnEdge[e][1]
+	v1 := r.CellVector(uEdge, c1)
+	v2 := r.CellVector(uEdge, c2)
+	v := v1.Add(v2).Scale(0.5)
+	mid := r.mesh.EdgeMidpoint[e]
+	t := mid.Cross(r.normal3[e]) // 90° counterclockwise from the normal
+	return v.Dot(t)
+}

@@ -1,0 +1,391 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/atmos"
+	"repro/internal/coupler"
+	"repro/internal/grid"
+	"repro/internal/land"
+	"repro/internal/ocean"
+	"repro/internal/par"
+	"repro/internal/pp"
+	"repro/internal/seaice"
+)
+
+// ESM is the assembled coupled model. It runs SPMD over a communicator:
+// the ocean and sea ice are block-distributed across all ranks (the
+// paper's second task domain), while the atmosphere and land model are
+// computed redundantly on every rank (standing in for the first task
+// domain; redundant computation at miniature scale gives bit-identical
+// coupling without a second process group). The component exchange
+// contract, field names, coupling clock, and per-component alarms follow
+// CPL7 (§5.1.1): 180 atmosphere, 36 ocean, and 180 sea-ice couplings per
+// simulated day.
+type ESM struct {
+	Cfg  Config
+	Comm *par.Comm
+
+	Atm *atmos.Model
+	Ocn *ocean.Ocean
+	Ice *seaice.Model
+	Lnd *land.Model
+	Rg  *Regridder
+
+	Clock *coupler.Clock
+
+	// Global surface fields shared with the atmosphere (identical on all
+	// ranks after each coupling).
+	sstGlobal []float64
+	iceGlobal []float64
+
+	timing *Timing
+
+	couplingSteps int
+	ocnStepsPer   int
+}
+
+// New assembles the coupled model over the communicator for the simulated
+// interval [start, stop).
+func New(cfg Config, c *par.Comm, start, stop time.Time, sp pp.Space) (*ESM, error) {
+	if sp == nil {
+		sp = pp.Serial{}
+	}
+	atm, err := atmos.New(cfg.AtmLevel, cfg.AtmNLev, cfg.AtmCfg, sp)
+	if err != nil {
+		return nil, fmt.Errorf("core: atmosphere: %w", err)
+	}
+	g, err := grid.NewTripolar(cfg.OcnNX, cfg.OcnNY, cfg.OcnNLev)
+	if err != nil {
+		return nil, fmt.Errorf("core: ocean grid: %w", err)
+	}
+	px, py := factorize(c.Size(), cfg.OcnNX, cfg.OcnNY)
+	ct := par.NewCart(c, px, py, true, false)
+	blk, err := grid.NewBlock(g, ct, 1)
+	if err != nil {
+		return nil, fmt.Errorf("core: ocean decomposition: %w", err)
+	}
+	ocnCfg := cfg.OcnCfg
+	ocnCfg.Policy = cfg.Policy
+	ocn, err := ocean.New(g, blk, ocnCfg, sp)
+	if err != nil {
+		return nil, fmt.Errorf("core: ocean: %w", err)
+	}
+	ice, err := seaice.New(g, blk, cfg.IceCfg)
+	if err != nil {
+		return nil, fmt.Errorf("core: sea ice: %w", err)
+	}
+	lnd, err := land.New(atm.Mesh, land.DefaultConfig())
+	if err != nil {
+		return nil, fmt.Errorf("core: land: %w", err)
+	}
+
+	// Coupling clock: the base step is the shortest coupling period.
+	baseStep, err := coupler.PeriodForCouplingsPerDay(cfg.AtmCouplingsPerDay)
+	if err != nil {
+		return nil, err
+	}
+	clk, err := coupler.NewClock(start, stop, baseStep)
+	if err != nil {
+		return nil, err
+	}
+	for name, perDay := range map[string]int{
+		"atm": cfg.AtmCouplingsPerDay,
+		"ocn": cfg.OcnCouplingsPerDay,
+		"ice": cfg.IceCouplingsPerDay,
+	} {
+		p, err := coupler.PeriodForCouplingsPerDay(perDay)
+		if err != nil {
+			return nil, err
+		}
+		if err := clk.AddAlarm(name, p); err != nil {
+			return nil, err
+		}
+	}
+
+	e := &ESM{
+		Cfg: cfg, Comm: c,
+		Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd,
+		Rg:     NewRegridder(atm.Mesh, g),
+		Clock:  clk,
+		timing: newTiming(),
+	}
+
+	// Ocean steps per ocean coupling interval.
+	ocnInterval := 86400.0 / float64(cfg.OcnCouplingsPerDay)
+	e.ocnStepsPer = int(math.Round(ocnInterval / ocn.Cfg.DtBaroclinic))
+	if e.ocnStepsPer < 1 {
+		e.ocnStepsPer = 1
+	}
+
+	// Validate the exchange contract once at init (the paper's naming and
+	// dimension-alignment checks).
+	if err := coupler.ValidateExchange([]coupler.Registration{
+		{Comp: &atmComp{e}, CouplingsPerDay: cfg.AtmCouplingsPerDay},
+		{Comp: &ocnComp{e}, CouplingsPerDay: cfg.OcnCouplingsPerDay},
+		{Comp: &iceComp{e}, CouplingsPerDay: cfg.IceCouplingsPerDay},
+	}); err != nil {
+		return nil, err
+	}
+
+	// Initial surface fields.
+	e.sstGlobal = make([]float64, g.NX*g.NY)
+	e.iceGlobal = make([]float64, g.NX*g.NY)
+	e.refreshOceanSurface()
+	e.applySurfaceToAtmos()
+	return e, nil
+}
+
+// factorize picks a process grid (px, py) with px·py = n that divides the
+// ocean grid.
+func factorize(n, nx, ny int) (int, int) {
+	best := [2]int{1, n}
+	for px := 1; px <= n; px++ {
+		if n%px != 0 {
+			continue
+		}
+		py := n / px
+		if nx%px == 0 && ny%py == 0 {
+			best = [2]int{px, py}
+			// Prefer near-square factorizations.
+			if abs(px-py) <= abs(best[0]-best[1]) {
+				best = [2]int{px, py}
+			}
+		}
+	}
+	return best[0], best[1]
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Step advances one coupling interval; returns false when the clock is done.
+func (e *ESM) Step() bool {
+	ringing, ok := e.Clock.Advance()
+	if !ok {
+		return false
+	}
+	for _, name := range ringing {
+		switch name {
+		case "atm":
+			e.timed("atm", e.atmosphereStep)
+		case "ice":
+			e.timed("ice", e.iceStep)
+		case "ocn":
+			e.timed("ocn", e.oceanStep)
+		}
+	}
+	e.couplingSteps++
+	return true
+}
+
+// RunDays integrates n simulated days (or until the clock stops).
+func (e *ESM) RunDays(days float64) int {
+	steps := int(days * float64(e.Cfg.AtmCouplingsPerDay))
+	n := 0
+	for i := 0; i < steps; i++ {
+		if !e.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// atmosphereStep runs one atmosphere model step plus the direct land
+// exchange (the land model bypasses the coupler, §5.1.1).
+func (e *ESM) atmosphereStep() {
+	e.Atm.StepModel()
+
+	// Direct atmosphere ↔ land exchange on land cells.
+	nc := e.Atm.Mesh.NCells()
+	kb := e.Atm.NLev - 1
+	u10, v10 := e.Atm.Wind10m()
+	dt := 86400.0 / float64(e.Cfg.AtmCouplingsPerDay)
+	for _, c := range e.Lnd.Cells {
+		f := land.Forcing{
+			GSW:    e.Atm.GSW[c],
+			GLW:    e.Atm.GLW[c],
+			TAir:   e.Atm.T[kb*nc+c],
+			QAir:   e.Atm.Qv[kb*nc+c],
+			Wind:   math.Hypot(u10[c], v10[c]),
+			Precip: e.Atm.Precip[c],
+			PSfc:   e.Atm.Ps[c],
+		}
+		resp, err := e.Lnd.StepCell(c, f, dt)
+		if err == nil {
+			// The land skin temperature is the surface the atmosphere sees.
+			e.Atm.SST[c] = resp.TSkin
+		}
+	}
+}
+
+// iceStep imports atmosphere and ocean state into the ice model, steps it,
+// and refreshes the global ice fraction.
+func (e *ESM) iceStep() {
+	ice := e.Ice
+	b := ice.B
+	nc := e.Atm.Mesh.NCells()
+	_ = nc
+	u10, v10 := e.Atm.Wind10m()
+	kb := e.Atm.NLev - 1
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			gi := b.GIdx(li, lj)
+			ac := e.Rg.OcnToAtm[gi]
+			ice.TAir[idx] = e.Atm.T[kb*e.Atm.Mesh.NCells()+ac]
+			ice.WindU[idx] = u10[ac]
+			ice.WindV[idx] = v10[ac]
+			ice.SST[idx] = e.Ocn.T[e.ocnIdx2(li, lj)] + 273.15
+		}
+	}
+	ice.Step()
+	e.refreshOceanSurface()
+	e.applySurfaceToAtmos()
+}
+
+// oceanStep computes the air–sea fluxes on the ocean grid — the flux
+// coupler's job in CPL7: turbulent fluxes use the atmosphere's lowest-level
+// state at the nearest cell together with the ocean's *own* SST, so coastal
+// columns are never contaminated by land skin temperatures — then
+// integrates the ocean over its coupling interval and refreshes the SST the
+// atmosphere sees.
+func (e *ESM) oceanStep() {
+	o := e.Ocn
+	b := o.B
+	const (
+		oceanAlbedo = 0.07
+		emiss       = 0.97
+		sb          = 5.670e-8
+		cd          = 1.3e-3
+		ch          = 1.0e-3
+		ce          = 1.2e-3
+		rhoAir      = 1.2
+	)
+	nc := e.Atm.Mesh.NCells()
+	kb := e.Atm.NLev - 1
+	u10, v10 := e.Atm.Wind10m()
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			gi := b.GIdx(li, lj)
+			if !o.G.Mask[gi] {
+				continue
+			}
+			ac := e.Rg.OcnToAtm[gi]
+			open := 1 - e.Ice.Conc[idx]
+			sstK := o.T[idx] + 273.15
+			wind := math.Hypot(u10[ac], v10[ac])
+			tair := e.Atm.T[kb*nc+ac]
+			qair := e.Atm.Qv[kb*nc+ac]
+
+			// Momentum: bulk stress from the local wind, attenuated by ice.
+			o.TauX[idx] = rhoAir * cd * wind * u10[ac] * open
+			o.TauY[idx] = rhoAir * cd * wind * v10[ac] * open
+
+			// Turbulent heat fluxes against the ocean's own SST.
+			shf := rhoAir * atmos.Cpd * ch * wind * (sstK - tair)
+			evap := rhoAir * ce * wind * (qsatSea(sstK) - qair)
+			if evap < 0 {
+				evap = 0
+			}
+			lhf := atmos.LatVap * evap
+
+			qnet := (1-oceanAlbedo)*e.Atm.GSW[ac] +
+				emiss*(e.Atm.GLW[ac]-sb*sstK*sstK*sstK*sstK) -
+				shf - lhf
+			o.QHeat[idx] = qnet*open + e.Ice.FreezeHeat[idx]
+			// Freshwater: (evaporation − precipitation) concentrates salt.
+			emp := evap - e.Atm.Precip[ac]
+			o.FWFlux[idx] = ocean.SRef * emp / (ocean.Rho0 * firstLayerDepth(o))
+		}
+	}
+	for s := 0; s < e.ocnStepsPer; s++ {
+		o.Step()
+	}
+	e.refreshOceanSurface()
+	e.applySurfaceToAtmos()
+}
+
+func firstLayerDepth(o *ocean.Ocean) float64 { return o.G.LevelDepth[0] }
+
+// qsatSea is the saturation specific humidity over seawater at 1000 hPa
+// (98 % of pure water's, the usual salinity correction).
+func qsatSea(tK float64) float64 {
+	es := 610.78 * math.Exp(17.27*(tK-273.15)/(tK-35.85))
+	return 0.98 * 0.622 * es / (1e5 - 0.378*es)
+}
+
+// ocnIdx2 mirrors the ocean's internal local indexing for driver reads.
+func (e *ESM) ocnIdx2(li, lj int) int {
+	return (lj+e.Ocn.B.H)*e.Ocn.B.LNI() + li + e.Ocn.B.H
+}
+
+// refreshOceanSurface gathers SST and ice fraction into global arrays and
+// broadcasts them so every rank's (redundant) atmosphere sees the same
+// surface.
+func (e *ESM) refreshOceanSurface() {
+	b := e.Ocn.B
+	n2 := b.LNI() * b.LNJ()
+	sstLoc := make([]float64, n2)
+	copy(sstLoc, e.Ocn.T[:n2])
+	iceLoc := make([]float64, n2)
+	copy(iceLoc, e.Ice.Conc)
+	sstG := b.GatherGlobal(sstLoc)
+	iceG := b.GatherGlobal(iceLoc)
+	e.sstGlobal = par.Bcast(e.Comm, 0, sstG)
+	e.iceGlobal = par.Bcast(e.Comm, 0, iceG)
+}
+
+// applySurfaceToAtmos maps the global ocean surface onto atmosphere cells.
+func (e *ESM) applySurfaceToAtmos() {
+	for c := 0; c < e.Atm.Mesh.NCells(); c++ {
+		if e.Atm.IsLand[c] {
+			continue // land skin temperature is owned by the land model
+		}
+		oc := e.Rg.AtmToOcn[c]
+		if oc < 0 {
+			continue
+		}
+		e.Atm.SST[c] = e.sstGlobal[oc] + 273.15
+		e.Atm.IceFrac[c] = e.iceGlobal[oc]
+	}
+}
+
+// CouplingSteps returns the number of completed coupling intervals.
+func (e *ESM) CouplingSteps() int { return e.couplingSteps }
+
+// SimulatedSeconds returns the simulated time advanced so far.
+func (e *ESM) SimulatedSeconds() float64 {
+	return float64(e.couplingSteps) * 86400 / float64(e.Cfg.AtmCouplingsPerDay)
+}
+
+// MeasureSYPD runs n coupling steps and returns the measured
+// simulated-years-per-day of this (miniature) configuration — the same
+// metric the paper reports, computed the same way (§6.2), on the
+// reproduction's grids.
+func (e *ESM) MeasureSYPD(n int) (float64, error) {
+	if n < 1 {
+		return 0, fmt.Errorf("core: need at least one step")
+	}
+	startWall := time.Now()
+	simStart := e.SimulatedSeconds()
+	for i := 0; i < n; i++ {
+		if !e.Step() {
+			return 0, fmt.Errorf("core: clock exhausted after %d steps", i)
+		}
+	}
+	wall := time.Since(startWall).Seconds()
+	sim := e.SimulatedSeconds() - simStart
+	if wall <= 0 {
+		return math.Inf(1), nil
+	}
+	return (sim / wall) * 86400 / (365 * 86400), nil
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/pario"
+)
+
+// WriteSnapshot dumps the Fig 1-style diagnostic surface fields to one
+// binary file readable with pario.ReadGlobal: atmosphere surface pressure,
+// 10 m wind speed, precipitation, total-cloud proxy (on atmosphere cells),
+// and SST, sea-surface kinetic energy, surface Rossby number, and ice
+// concentration (on the global ocean grid). These are the quantities the
+// paper visualizes in Figs 1 and 6.
+func (e *ESM) WriteSnapshot(path string) error {
+	var fields []pario.Field
+
+	// Ocean-grid diagnostics are gathered and written by rank 0.
+	o := e.Ocn
+	b := o.B
+	g := o.G
+	n2g := g.NX * g.NY
+
+	ro := o.SurfaceRossby()
+	roLoc := b.Alloc()
+	keLoc := b.Alloc()
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			c := e.ocnIdx2(li, lj)
+			roLoc[b.LIdx(li, lj)] = ro[lj*b.NI+li]
+			u := 0.5 * (o.U[c] + o.U[c-1])
+			v := 0.5 * (o.V[c] + o.V[c-o.LNI])
+			keLoc[b.LIdx(li, lj)] = 0.5 * (u*u + v*v)
+		}
+	}
+	roG := b.GatherGlobal(roLoc)
+	keG := b.GatherGlobal(keLoc)
+	sstG := b.GatherGlobal(o.T[:o.LNI*o.LNJ])
+	iceLoc := b.Alloc()
+	copy(iceLoc, e.Ice.Conc)
+	iceG := b.GatherGlobal(iceLoc)
+
+	if e.Comm.Rank() == 0 {
+		whole := func(name string, data []float64) {
+			fields = append(fields, pario.Field{Name: name, Global: len(data), Start: 0, Data: data})
+		}
+		whole("ocn.rossby", roG)
+		whole("ocn.ke", keG)
+		whole("ocn.sst", sstG)
+		whole("ice.conc", iceG)
+		if len(roG) != n2g {
+			panic("core: snapshot gather size mismatch")
+		}
+
+		m := e.Atm
+		u, v := m.Wind10m()
+		speed := make([]float64, len(u))
+		for i := range u {
+			speed[i] = math.Hypot(u[i], v[i])
+		}
+		whole("atm.ps", append([]float64(nil), m.Ps...))
+		whole("atm.wind10m", speed)
+		whole("atm.precip", append([]float64(nil), m.Precip...))
+		whole("atm.cloud", m.TotalCloudProxy())
+		// Cell coordinates so a plotting tool can place the unstructured
+		// atmosphere values.
+		whole("atm.loncell", append([]float64(nil), m.Mesh.LonCell...))
+		whole("atm.latcell", append([]float64(nil), m.Mesh.LatCell...))
+	}
+	return pario.WriteSingle(e.Comm, path, fields)
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/grid"
+)
+
+// Regridder holds the nearest-neighbour maps between the atmosphere's
+// icosahedral mesh and the ocean's tripolar grid, the role MCT's sparse
+// matrix interpolation plays in CPL7. Nearest-neighbour is sufficient for
+// the reproduction's resolutions and keeps the maps exactly invertible in
+// tests' spot checks.
+type Regridder struct {
+	// OcnToAtm[i] is the atmosphere cell nearest to global ocean column i.
+	OcnToAtm []int
+	// AtmToOcn[c] is the global ocean column nearest to atmosphere cell c,
+	// or -1 when the nearest column is land (the cell is served by the land
+	// model instead).
+	AtmToOcn []int
+}
+
+// NewRegridder precomputes both maps.
+func NewRegridder(mesh *grid.IcosMesh, g *grid.Tripolar) *Regridder {
+	r := &Regridder{
+		OcnToAtm: make([]int, g.NX*g.NY),
+		AtmToOcn: make([]int, mesh.NCells()),
+	}
+
+	// Ocean columns → nearest atmosphere cell. A coarse latitude bucketing
+	// of atmosphere cells keeps this O(N·√M) instead of O(N·M).
+	const nBuckets = 64
+	buckets := make([][]int, nBuckets)
+	for c := 0; c < mesh.NCells(); c++ {
+		b := bucketOf(mesh.LatCell[c], nBuckets)
+		buckets[b] = append(buckets[b], c)
+	}
+	nearestAtm := func(p grid.Vec3, lat float64) int {
+		best, bestDot := -1, -2.0
+		b0 := bucketOf(lat, nBuckets)
+		for db := 0; db < nBuckets; db++ {
+			searched := false
+			for _, b := range []int{b0 - db, b0 + db} {
+				if b < 0 || b >= nBuckets || (db == 0 && b != b0) {
+					continue
+				}
+				searched = true
+				for _, c := range buckets[b] {
+					if d := p.Dot(mesh.CellCenter[c]); d > bestDot {
+						bestDot, best = d, c
+					}
+				}
+			}
+			// Once found, one extra ring guards the bucket boundary.
+			if best >= 0 && db > 1 {
+				break
+			}
+			if !searched && best >= 0 {
+				break
+			}
+		}
+		return best
+	}
+
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			p := grid.FromLonLat(g.Lon[i], g.Lat[j])
+			r.OcnToAtm[j*g.NX+i] = nearestAtm(p, g.Lat[j])
+		}
+	}
+
+	// Atmosphere cells → nearest wet ocean column (grid-aligned lookup with
+	// a spiral search for coastal cells whose nearest column is land).
+	for c := 0; c < mesh.NCells(); c++ {
+		lon, lat := mesh.LonCell[c], mesh.LatCell[c]
+		if lon < 0 {
+			lon += 2 * math.Pi
+		}
+		i := int(lon / (2 * math.Pi) * float64(g.NX))
+		i = clampInt(i, 0, g.NX-1)
+		j := nearestLatRow(g, lat)
+		idx := j*g.NX + i
+		if g.Mask[idx] {
+			r.AtmToOcn[c] = idx
+			continue
+		}
+		r.AtmToOcn[c] = spiralWet(g, i, j, 6)
+	}
+	return r
+}
+
+func bucketOf(lat float64, n int) int {
+	b := int((lat + math.Pi/2) / math.Pi * float64(n))
+	return clampInt(b, 0, n-1)
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// nearestLatRow finds the grid row whose center latitude is closest.
+func nearestLatRow(g *grid.Tripolar, lat float64) int {
+	best, bestD := 0, math.Inf(1)
+	for j := 0; j < g.NY; j++ {
+		if d := math.Abs(g.Lat[j] - lat); d < bestD {
+			best, bestD = j, d
+		}
+	}
+	return best
+}
+
+// spiralWet searches outward for the nearest wet column; -1 if none within
+// the ring limit (deep-inland atmosphere cells, served by the land model).
+func spiralWet(g *grid.Tripolar, i0, j0, rings int) int {
+	for r := 1; r <= rings; r++ {
+		for dj := -r; dj <= r; dj++ {
+			j := j0 + dj
+			if j < 0 || j >= g.NY {
+				continue
+			}
+			for di := -r; di <= r; di++ {
+				if maxAbs(di, dj) != r {
+					continue
+				}
+				i := ((i0+di)%g.NX + g.NX) % g.NX
+				if g.Mask[j*g.NX+i] {
+					return j*g.NX + i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}

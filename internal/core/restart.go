@@ -1,0 +1,253 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/pario"
+)
+
+// Restart support: the coupled model checkpoints through the §5.2.5
+// subfile-partitioned parallel I/O and resumes bit-for-bit. Distributed
+// ocean/ice fields are written as per-row chunks of the global index space
+// by every rank; the replicated atmosphere and land states are written by
+// rank 0 only; each rank reads the whole (small) restart set back and keeps
+// its own region.
+
+// restartMeta packs the counters a resumed run must reinstate.
+const metaField = "meta"
+
+// WriteRestart checkpoints the full coupled state into dir as nGroups
+// binary subfiles. It must be called at a coupling boundary (between Step
+// calls), which is the only time the driver is quiescent.
+func (e *ESM) WriteRestart(dir string, nGroups int) error {
+	var fields []pario.Field
+
+	// --- Distributed ocean and ice fields, one chunk per local row ---
+	o := e.Ocn
+	b := o.B
+	g := o.G
+	n2g := g.NX * g.NY
+	addRow := func(name string, global int, gStart int, data []float64) {
+		fields = append(fields, pario.Field{Name: name, Global: global, Start: gStart, Data: data})
+	}
+	rowOf := func(src []float64, k, lj int) []float64 {
+		out := make([]float64, b.NI)
+		for li := 0; li < b.NI; li++ {
+			out[li] = src[k*o.LNI*o.LNJ+e.ocnIdx2(li, lj)]
+		}
+		return out
+	}
+	for _, f3 := range []struct {
+		name string
+		data []float64
+	}{
+		{"ocn.u", o.U}, {"ocn.v", o.V}, {"ocn.t", o.T}, {"ocn.s", o.S},
+	} {
+		for k := 0; k < o.NL; k++ {
+			for lj := 0; lj < b.NJ; lj++ {
+				gStart := (k*g.NY+(b.J0+lj))*g.NX + b.I0
+				addRow(f3.name, o.NL*n2g, gStart, rowOf(f3.data, k, lj))
+			}
+		}
+	}
+	for _, f2 := range []struct {
+		name string
+		data []float64
+	}{
+		{"ocn.eta", o.Eta}, {"ocn.ubar", o.Ubar}, {"ocn.vbar", o.Vbar},
+		{"ocn.taux", o.TauX}, {"ocn.tauy", o.TauY},
+		{"ocn.qheat", o.QHeat}, {"ocn.fw", o.FWFlux},
+		{"ice.conc", e.Ice.Conc}, {"ice.thick", e.Ice.Thick},
+		{"ice.freezeheat", e.Ice.FreezeHeat},
+	} {
+		for lj := 0; lj < b.NJ; lj++ {
+			gStart := (b.J0+lj)*g.NX + b.I0
+			addRow(f2.name, n2g, gStart, rowOf(f2.data, 0, lj))
+		}
+	}
+
+	// --- Replicated atmosphere + land, written by rank 0 ---
+	if e.Comm.Rank() == 0 {
+		m := e.Atm
+		whole := func(name string, data []float64) {
+			cp := append([]float64(nil), data...)
+			fields = append(fields, pario.Field{Name: name, Global: len(cp), Start: 0, Data: cp})
+		}
+		whole("atm.ps", m.Ps)
+		whole("atm.t", m.T)
+		whole("atm.qv", m.Qv)
+		whole("atm.u", m.U)
+		whole("atm.sst", m.SST)
+		whole("atm.icefrac", m.IceFrac)
+		whole("atm.gsw", m.GSW)
+		whole("atm.glw", m.GLW)
+		whole("atm.precip", m.Precip)
+		whole("atm.taux", m.TauX)
+		whole("atm.tauy", m.TauY)
+		whole("atm.shf", m.SHF)
+		whole("atm.lhf", m.LHF)
+		edge, dps := m.FluxAccumulators()
+		if edge != nil {
+			whole("atm.fluxedge", edge)
+			whole("atm.fluxdps", dps)
+		}
+		whole("lnd.tsoil", e.Lnd.TSoil)
+		whole("lnd.bucket", e.Lnd.Bucket)
+		whole("sfc.sstglobal", e.sstGlobal)
+		whole("sfc.iceglobal", e.iceGlobal)
+		whole(metaField, []float64{
+			float64(e.couplingSteps),
+			float64(m.Steps()),
+			float64(o.Steps()),
+		})
+	}
+	return pario.WriteSubfiles(e.Comm, dir, nGroups, fields)
+}
+
+// ReadRestart loads a checkpoint written by WriteRestart into a freshly
+// constructed ESM with the same configuration and clock interval. Every
+// rank reads the subfile set and keeps its own region; the coupling clock
+// is fast-forwarded to the checkpointed step so alarm phasing is preserved.
+func (e *ESM) ReadRestart(dir string, nGroups int) error {
+	if e.couplingSteps != 0 {
+		return fmt.Errorf("core: ReadRestart requires a freshly constructed ESM")
+	}
+	global, err := pario.ReadGlobal(pario.SubfilePaths(dir, nGroups))
+	if err != nil {
+		return err
+	}
+	need := func(name string) ([]float64, error) {
+		f, ok := global[name]
+		if !ok {
+			return nil, fmt.Errorf("core: restart missing field %q", name)
+		}
+		return f, nil
+	}
+
+	meta, err := need(metaField)
+	if err != nil {
+		return err
+	}
+	if len(meta) != 3 {
+		return fmt.Errorf("core: corrupt restart metadata")
+	}
+	couplingSteps := int(meta[0])
+	atmSteps := int(meta[1])
+	ocnSteps := int(meta[2])
+
+	// --- Atmosphere + land (replicated) ---
+	m := e.Atm
+	for _, spec := range []struct {
+		name string
+		dst  []float64
+	}{
+		{"atm.ps", m.Ps}, {"atm.t", m.T}, {"atm.qv", m.Qv}, {"atm.u", m.U},
+		{"atm.sst", m.SST}, {"atm.icefrac", m.IceFrac},
+		{"atm.gsw", m.GSW}, {"atm.glw", m.GLW}, {"atm.precip", m.Precip},
+		{"atm.taux", m.TauX}, {"atm.tauy", m.TauY},
+		{"atm.shf", m.SHF}, {"atm.lhf", m.LHF},
+		{"lnd.tsoil", e.Lnd.TSoil}, {"lnd.bucket", e.Lnd.Bucket},
+		{"sfc.sstglobal", e.sstGlobal}, {"sfc.iceglobal", e.iceGlobal},
+	} {
+		f, err := need(spec.name)
+		if err != nil {
+			return err
+		}
+		if len(f) != len(spec.dst) {
+			return fmt.Errorf("core: restart field %q has %d values, want %d", spec.name, len(f), len(spec.dst))
+		}
+		copy(spec.dst, f)
+	}
+	edge, eok := global["atm.fluxedge"]
+	dps, dok := global["atm.fluxdps"]
+	if eok != dok {
+		return fmt.Errorf("core: restart has partial flux accumulators")
+	}
+	if eok {
+		m.RestoreState(atmSteps, edge, dps)
+	} else {
+		m.RestoreState(atmSteps, nil, nil)
+	}
+
+	// --- Ocean + ice (each rank keeps its block) ---
+	o := e.Ocn
+	b := o.B
+	g := o.G
+	n2g := g.NX * g.NY
+	put3 := func(name string, dst []float64) error {
+		f, err := need(name)
+		if err != nil {
+			return err
+		}
+		if len(f) != o.NL*n2g {
+			return fmt.Errorf("core: restart field %q size %d", name, len(f))
+		}
+		for k := 0; k < o.NL; k++ {
+			for lj := 0; lj < b.NJ; lj++ {
+				for li := 0; li < b.NI; li++ {
+					dst[k*o.LNI*o.LNJ+e.ocnIdx2(li, lj)] = f[(k*g.NY+(b.J0+lj))*g.NX+b.I0+li]
+				}
+			}
+		}
+		return nil
+	}
+	put2 := func(name string, dst []float64) error {
+		f, err := need(name)
+		if err != nil {
+			return err
+		}
+		if len(f) != n2g {
+			return fmt.Errorf("core: restart field %q size %d", name, len(f))
+		}
+		for lj := 0; lj < b.NJ; lj++ {
+			for li := 0; li < b.NI; li++ {
+				dst[e.ocnIdx2(li, lj)] = f[(b.J0+lj)*g.NX+b.I0+li]
+			}
+		}
+		return nil
+	}
+	for _, s3 := range []struct {
+		name string
+		dst  []float64
+	}{{"ocn.u", o.U}, {"ocn.v", o.V}, {"ocn.t", o.T}, {"ocn.s", o.S}} {
+		if err := put3(s3.name, s3.dst); err != nil {
+			return err
+		}
+	}
+	for _, s2 := range []struct {
+		name string
+		dst  []float64
+	}{
+		{"ocn.eta", o.Eta}, {"ocn.ubar", o.Ubar}, {"ocn.vbar", o.Vbar},
+		{"ocn.taux", o.TauX}, {"ocn.tauy", o.TauY},
+		{"ocn.qheat", o.QHeat}, {"ocn.fw", o.FWFlux},
+		{"ice.conc", e.Ice.Conc}, {"ice.thick", e.Ice.Thick},
+		{"ice.freezeheat", e.Ice.FreezeHeat},
+	} {
+		if err := put2(s2.name, s2.dst); err != nil {
+			return err
+		}
+	}
+	o.SetSteps(ocnSteps)
+
+	// --- Clock fast-forward preserves alarm phasing ---
+	for i := 0; i < couplingSteps; i++ {
+		if _, ok := e.Clock.Advance(); !ok {
+			return fmt.Errorf("core: restart step %d beyond the clock interval", couplingSteps)
+		}
+	}
+	e.couplingSteps = couplingSteps
+
+	// Validate the restored state is finite.
+	for _, v := range m.Ps {
+		if math.IsNaN(v) {
+			return fmt.Errorf("core: restart contains NaN surface pressure")
+		}
+	}
+	return nil
+}
+
+// RestartAt reports the simulated time of the restored checkpoint.
+func (e *ESM) RestartAt() time.Time { return e.Clock.Current }

@@ -1,0 +1,113 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Component timing, the reproduction of the paper's measurement mechanism
+// (§6.2): wall-clock timers around each component (GPTL's role), with the
+// maximum across ranks reported to account for load imbalance, and a
+// getTiming-style summary that converts component and whole-model times to
+// SYPD.
+
+// Timing accumulates per-section wall time.
+type Timing struct {
+	sections map[string]time.Duration
+	calls    map[string]int
+}
+
+func newTiming() *Timing {
+	return &Timing{
+		sections: make(map[string]time.Duration),
+		calls:    make(map[string]int),
+	}
+}
+
+// add records one timed call of a section.
+func (t *Timing) add(name string, d time.Duration) {
+	t.sections[name] += d
+	t.calls[name]++
+}
+
+// Section returns the accumulated time and call count of a section.
+func (t *Timing) Section(name string) (time.Duration, int) {
+	return t.sections[name], t.calls[name]
+}
+
+// TimingRow is one line of the getTiming-style report.
+type TimingRow struct {
+	Section  string
+	Calls    int
+	MaxWall  time.Duration // maximum across ranks (§6.2 convention)
+	SYPD     float64       // throughput if this section were the whole cost
+	Fraction float64       // share of the total
+}
+
+// TimingReport reduces the timers across ranks (taking the maximum, as the
+// paper does to account for load imbalance) and renders the per-component
+// summary. Collective: every rank must call it; all ranks receive the rows.
+func (e *ESM) TimingReport() []TimingRow {
+	names := make([]string, 0, len(e.timing.sections))
+	for n := range e.timing.sections {
+		names = append(names, n)
+	}
+	// All ranks must iterate sections in the same order for the collective
+	// reduction; gather the union of names first.
+	allNames := par.Allgather(e.Comm, names)
+	set := map[string]bool{}
+	for _, list := range allNames {
+		for _, n := range list {
+			set[n] = true
+		}
+	}
+	names = names[:0]
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	simYears := e.SimulatedSeconds() / (365 * 86400)
+	var total time.Duration
+	rows := make([]TimingRow, 0, len(names))
+	for _, n := range names {
+		local, _ := e.timing.Section(n)
+		maxSec := e.Comm.Allreduce(local.Seconds(), par.OpMax)
+		d := time.Duration(maxSec * float64(time.Second))
+		total += d
+		_, calls := e.timing.Section(n)
+		sypd := 0.0
+		if maxSec > 0 {
+			sypd = simYears / (maxSec / 86400)
+		}
+		rows = append(rows, TimingRow{Section: n, Calls: calls, MaxWall: d, SYPD: sypd})
+	}
+	for i := range rows {
+		if total > 0 {
+			rows[i].Fraction = float64(rows[i].MaxWall) / float64(total)
+		}
+	}
+	return rows
+}
+
+// FormatTiming renders the rows like the coupler's getTiming output.
+func FormatTiming(rows []TimingRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %8s %14s %10s %7s\n", "component", "calls", "max wall", "SYPD", "share")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-10s %8d %14s %10.2f %6.1f%%\n",
+			r.Section, r.Calls, r.MaxWall.Round(time.Microsecond), r.SYPD, 100*r.Fraction)
+	}
+	return b.String()
+}
+
+// timed wraps one component invocation with its timer.
+func (e *ESM) timed(name string, f func()) {
+	t0 := time.Now()
+	f()
+	e.timing.add(name, time.Since(t0))
+}

@@ -1,0 +1,67 @@
+package coupler
+
+import (
+	"fmt"
+	"time"
+)
+
+// Component is the CPL7 contract every model component implements (§5.1.1):
+// MCT-style init/run/finalize plus import/export of boundary-condition
+// attribute vectors. GRIST and LICOM implement exactly these five methods
+// to join the coupled system.
+type Component interface {
+	// Name identifies the component ("atm", "ocn", "ice", "lnd").
+	Name() string
+	// Init prepares internal state and returns the export field names the
+	// component provides and the import field names it expects.
+	Init() (exports, imports []string, err error)
+	// Run integrates the component forward by dt of simulated time.
+	Run(dt time.Duration) error
+	// Export fills an attribute vector with the component's current
+	// boundary-condition outputs.
+	Export() (*AttrVect, error)
+	// Import delivers boundary-condition inputs from other components.
+	Import(av *AttrVect) error
+	// Finalize releases resources and reports diagnostics.
+	Finalize() error
+}
+
+// Registration couples a component to the driver: its coupling period and
+// the counterpart it exchanges fields with.
+type Registration struct {
+	Comp            Component
+	CouplingsPerDay int
+}
+
+// ValidateExchange checks that everything one component imports is exported
+// by some other registered component — the dimension-alignment and naming
+// checks the engineering phase had to resolve (§5.1).
+func ValidateExchange(regs []Registration) error {
+	exported := map[string]string{}
+	type compImports struct {
+		name    string
+		imports []string
+	}
+	var pending []compImports
+	for _, r := range regs {
+		exp, imp, err := r.Comp.Init()
+		if err != nil {
+			return fmt.Errorf("coupler: init %s: %w", r.Comp.Name(), err)
+		}
+		for _, f := range exp {
+			if prev, dup := exported[f]; dup {
+				return fmt.Errorf("coupler: field %q exported by both %s and %s (naming conflict)", f, prev, r.Comp.Name())
+			}
+			exported[f] = r.Comp.Name()
+		}
+		pending = append(pending, compImports{r.Comp.Name(), imp})
+	}
+	for _, p := range pending {
+		for _, f := range p.imports {
+			if _, ok := exported[f]; !ok {
+				return fmt.Errorf("coupler: %s imports %q which no component exports", p.name, f)
+			}
+		}
+	}
+	return nil
+}

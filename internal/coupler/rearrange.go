@@ -1,0 +1,131 @@
+package coupler
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// RearrangeMode selects the communication pattern of the rearranger.
+type RearrangeMode int
+
+const (
+	// ModeAlltoall is the original CPL7 implementation: one collective
+	// all-to-all carrying every pair's block, including the many empty ones.
+	ModeAlltoall RearrangeMode = iota
+	// ModeP2P is the §5.2.4 optimization: non-blocking point-to-point
+	// messages only between ranks that actually exchange data, overlapping
+	// communication with the local pack/unpack work.
+	ModeP2P
+)
+
+// String implements fmt.Stringer.
+func (m RearrangeMode) String() string {
+	switch m {
+	case ModeAlltoall:
+		return "alltoall"
+	case ModeP2P:
+		return "nonblocking-p2p"
+	default:
+		return fmt.Sprintf("RearrangeMode(%d)", int(m))
+	}
+}
+
+const rearrangeTag = 7100
+
+// Rearrange moves an attribute vector from the source decomposition to the
+// destination decomposition according to the router, using the selected
+// communication mode. src must have LSize == router.NSrc; the result has
+// LSize == router.NDst with the same fields. Both modes produce identical
+// results; the P2P mode is the optimized production path.
+func Rearrange(c *par.Comm, r *Router, src *AttrVect, mode RearrangeMode) (*AttrVect, error) {
+	if src.LSize != r.NSrc {
+		return nil, fmt.Errorf("coupler: rearrange source size %d, router expects %d", src.LSize, r.NSrc)
+	}
+	dst, err := NewAttrVect(src.Fields, r.NDst)
+	if err != nil {
+		return nil, err
+	}
+	nf := src.NFields()
+	n := c.Size()
+
+	pack := func(offs []int) []float64 {
+		buf := make([]float64, nf*len(offs))
+		for f := 0; f < nf; f++ {
+			base := f * len(offs)
+			fieldBase := f * src.LSize
+			for i, off := range offs {
+				buf[base+i] = src.Data[fieldBase+off]
+			}
+		}
+		return buf
+	}
+	unpack := func(offs []int, buf []float64) error {
+		if len(buf) != nf*len(offs) {
+			return fmt.Errorf("coupler: rearrange received %d values, want %d", len(buf), nf*len(offs))
+		}
+		for f := 0; f < nf; f++ {
+			base := f * len(offs)
+			fieldBase := f * dst.LSize
+			for i, off := range offs {
+				dst.Data[fieldBase+off] = buf[base+i]
+			}
+		}
+		return nil
+	}
+
+	switch mode {
+	case ModeAlltoall:
+		send := make([][]float64, n)
+		for pe := 0; pe < n; pe++ {
+			send[pe] = pack(r.SendTo[pe]) // empty blocks still participate
+		}
+		recv := c.AlltoallvF64(send)
+		for pe := 0; pe < n; pe++ {
+			if err := unpack(r.RecvFrom[pe], recv[pe]); err != nil {
+				return nil, err
+			}
+		}
+	case ModeP2P:
+		// Post sends only to ranks with data; local copy short-circuits.
+		for pe := 0; pe < n; pe++ {
+			if len(r.SendTo[pe]) == 0 || pe == c.Rank() {
+				continue
+			}
+			par.Isend(c, pe, rearrangeTag, pack(r.SendTo[pe]))
+		}
+		if len(r.SendTo[c.Rank()]) > 0 {
+			if err := unpack(r.RecvFrom[c.Rank()], pack(r.SendTo[c.Rank()])); err != nil {
+				return nil, err
+			}
+		}
+		reqs := make(map[int]*par.Request)
+		for pe := 0; pe < n; pe++ {
+			if len(r.RecvFrom[pe]) == 0 || pe == c.Rank() {
+				continue
+			}
+			reqs[pe] = par.Irecv[[]float64](c, pe, rearrangeTag)
+		}
+		for pe, req := range reqs {
+			req.Wait()
+			if err := unpack(r.RecvFrom[pe], req.Data().([]float64)); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("coupler: unknown rearrange mode %v", mode)
+	}
+	return dst, nil
+}
+
+// MessageCount returns how many non-empty messages this rank's plan
+// produces under each mode — the traffic-reduction accounting of §5.2.4.
+func (r *Router) MessageCount(commSize int) (alltoall, p2p int) {
+	alltoall = commSize // collective touches every rank pair slot
+	for _, s := range r.SendTo {
+		if len(s) > 0 {
+			p2p++
+		}
+	}
+	return
+}

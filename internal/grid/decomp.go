@@ -1,0 +1,221 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// Block is one rank's rectangular patch of a Tripolar grid, with halo
+// storage. Local arrays are (NJ+2H) × (NI+2H), row-major, with the owned
+// region at offset (H, H).
+type Block struct {
+	G      *Tripolar
+	Cart   *par.Cart
+	I0, J0 int // global origin of the owned region
+	NI, NJ int // owned extents
+	H      int // halo width
+}
+
+// NewBlock decomposes the grid over the cartesian communicator. NX must be
+// divisible by the process columns and NY by the process rows (the
+// production model pads; the reproduction keeps exact divisibility for
+// clarity). The x direction is periodic; the y direction is closed at the
+// south and folded at the north.
+func NewBlock(g *Tripolar, ct *par.Cart, halo int) (*Block, error) {
+	if g.NX%ct.NX != 0 || g.NY%ct.NY != 0 {
+		return nil, fmt.Errorf("grid: %dx%d grid not divisible by %dx%d process layout", g.NX, g.NY, ct.NX, ct.NY)
+	}
+	if halo < 1 {
+		return nil, fmt.Errorf("grid: halo width must be >= 1, got %d", halo)
+	}
+	ni := g.NX / ct.NX
+	nj := g.NY / ct.NY
+	if halo > ni || halo > nj {
+		return nil, fmt.Errorf("grid: halo %d exceeds local block %dx%d", halo, ni, nj)
+	}
+	return &Block{
+		G: g, Cart: ct,
+		I0: ct.CX * ni, J0: ct.CY * nj,
+		NI: ni, NJ: nj, H: halo,
+	}, nil
+}
+
+// LNI and LNJ return the local array extents including halos.
+func (b *Block) LNI() int { return b.NI + 2*b.H }
+
+// LNJ returns the local row count including halos.
+func (b *Block) LNJ() int { return b.NJ + 2*b.H }
+
+// Alloc returns a zeroed local array (one level).
+func (b *Block) Alloc() []float64 { return make([]float64, b.LNI()*b.LNJ()) }
+
+// LIdx converts owned-region coordinates (li, lj) ∈ [0,NI)×[0,NJ) to the
+// flat local index including the halo offset.
+func (b *Block) LIdx(li, lj int) int { return (lj+b.H)*b.LNI() + li + b.H }
+
+// GIdx converts owned-region coordinates to the flat global surface index.
+func (b *Block) GIdx(li, lj int) int { return (b.J0+lj)*b.G.NX + b.I0 + li }
+
+// AtNorthFold reports whether this block touches the folded northern row.
+func (b *Block) AtNorthFold() bool { return b.J0+b.NJ == b.G.NY }
+
+// AtSouth reports whether this block touches the closed southern boundary.
+func (b *Block) AtSouth() bool { return b.J0 == 0 }
+
+// foldPartnerRank is the rank owning the mirrored columns across the fold.
+func (b *Block) foldPartnerRank() int {
+	px := b.Cart.NX - 1 - b.Cart.CX
+	return b.Cart.RankAt(px, b.Cart.CY)
+}
+
+// Halo exchange tags; offset by field tag to allow concurrent exchanges.
+const (
+	tagWest = 1000 + iota
+	tagEast
+	tagSouth
+	tagNorth
+	tagFold
+)
+
+// Exchange fills the halo of a local field: periodic in x, zero-gradient at
+// the closed southern boundary, fold exchange at the tripolar northern
+// boundary (ghost row j = NY is the top row mirrored in longitude). The
+// corner halos are correct because the y exchange completes before the x
+// exchange, so x messages carry already-filled y ghosts.
+func (b *Block) Exchange(f []float64) { b.exchange(f, 1) }
+
+// ExchangeVec is Exchange for velocity components. The cell-centred fold
+// mirroring is misaligned by half a cell for staggered velocity fields, so
+// the fold — which is already closed to mass flux in this reproduction — is
+// treated as a free-slip wall: ghost rows above it take zero-gradient
+// copies of the top owned row (after the sign-flipped exchange has filled
+// the x halos consistently on every layout).
+func (b *Block) ExchangeVec(f []float64) {
+	b.exchange(f, -1)
+	if b.AtNorthFold() {
+		lni := b.LNI()
+		src := f[(b.H+b.NJ-1)*lni : (b.H+b.NJ)*lni]
+		for r := 0; r < b.H; r++ {
+			copy(f[(b.H+b.NJ+r)*lni:(b.H+b.NJ+r+1)*lni], src)
+		}
+	}
+}
+
+func (b *Block) exchange(f []float64, foldSign float64) {
+	lni, h := b.LNI(), b.H
+	c := b.Cart.Comm
+
+	rowSlab := func(j0 int) []float64 {
+		out := make([]float64, h*lni)
+		for r := 0; r < h; r++ {
+			copy(out[r*lni:(r+1)*lni], f[(j0+r)*lni:(j0+r+1)*lni])
+		}
+		return out
+	}
+	putRowSlab := func(j0 int, data []float64) {
+		for r := 0; r < h; r++ {
+			copy(f[(j0+r)*lni:(j0+r+1)*lni], data[r*lni:(r+1)*lni])
+		}
+	}
+
+	// --- Y direction ---
+	_, _, south, north := b.Cart.Neighbors()
+	if south >= 0 {
+		par.Send(c, south, tagSouth, rowSlab(h)) // my bottom owned rows
+	}
+	if north >= 0 {
+		par.Send(c, north, tagNorth, rowSlab(h+b.NJ-h)) // my top owned rows
+	}
+	if b.AtNorthFold() {
+		// Top ghost rows come from the mirrored block across the fold.
+		partner := b.foldPartnerRank()
+		slab := rowSlab(h + b.NJ - h)
+		par.Send(c, partner, tagFold, slab)
+	}
+	if south >= 0 {
+		data, _ := par.Recv[[]float64](c, south, tagNorth)
+		putRowSlab(0, data)
+	} else {
+		// Closed south: zero-gradient.
+		for r := 0; r < h; r++ {
+			copy(f[r*lni:(r+1)*lni], f[h*lni:(h+1)*lni])
+		}
+	}
+	if north >= 0 {
+		data, _ := par.Recv[[]float64](c, north, tagSouth)
+		putRowSlab(h+b.NJ, data)
+	} else if b.AtNorthFold() {
+		partner := b.foldPartnerRank()
+		data, _ := par.Recv[[]float64](c, partner, tagFold)
+		// The fold reverses longitude and row order: ghost row (NJ+r) takes
+		// the partner's owned row (NJ-1-r), columns mirrored.
+		for r := 0; r < h; r++ {
+			src := data[(h-1-r)*lni : (h-r)*lni]
+			dst := f[(h+b.NJ+r)*lni : (h+b.NJ+r+1)*lni]
+			// Mirror only the owned columns; x halos are filled afterwards.
+			for li := 0; li < b.NI; li++ {
+				dst[h+li] = foldSign * src[h+b.NI-1-li]
+			}
+		}
+	}
+
+	// --- X direction (periodic), carries the corner ghosts ---
+	west, east, _, _ := b.Cart.Neighbors()
+	lnj := b.LNJ()
+	colSlab := func(i0 int) []float64 {
+		out := make([]float64, h*lnj)
+		for j := 0; j < lnj; j++ {
+			for r := 0; r < h; r++ {
+				out[j*h+r] = f[j*lni+i0+r]
+			}
+		}
+		return out
+	}
+	putColSlab := func(i0 int, data []float64) {
+		for j := 0; j < lnj; j++ {
+			for r := 0; r < h; r++ {
+				f[j*lni+i0+r] = data[j*h+r]
+			}
+		}
+	}
+	if b.Cart.NX == 1 {
+		// Periodic wrap within the single block.
+		putColSlab(0, colSlab(b.NI))   // west ghosts from east owned
+		putColSlab(h+b.NI, colSlab(h)) // east ghosts from west owned
+	} else {
+		par.Send(c, west, tagWest, colSlab(h))
+		par.Send(c, east, tagEast, colSlab(b.NI))
+		dataE, _ := par.Recv[[]float64](c, east, tagWest)
+		putColSlab(h+b.NI, dataE)
+		dataW, _ := par.Recv[[]float64](c, west, tagEast)
+		putColSlab(0, dataW)
+	}
+}
+
+// GatherGlobal assembles the owned regions of a local field from all ranks
+// into a global NY×NX array on rank 0 (nil elsewhere).
+func (b *Block) GatherGlobal(f []float64) []float64 {
+	type patch struct {
+		I0, J0, NI, NJ int
+		Data           []float64
+	}
+	own := make([]float64, b.NI*b.NJ)
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			own[lj*b.NI+li] = f[b.LIdx(li, lj)]
+		}
+	}
+	patches := par.Gather(b.Cart.Comm, 0, patch{b.I0, b.J0, b.NI, b.NJ, own})
+	if b.Cart.Comm.Rank() != 0 {
+		return nil
+	}
+	out := make([]float64, b.G.NX*b.G.NY)
+	for _, p := range patches {
+		for lj := 0; lj < p.NJ; lj++ {
+			copy(out[(p.J0+lj)*b.G.NX+p.I0:(p.J0+lj)*b.G.NX+p.I0+p.NI],
+				p.Data[lj*p.NI:(lj+1)*p.NI])
+		}
+	}
+	return out
+}

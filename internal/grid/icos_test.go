@@ -1,0 +1,295 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIcosCountsClosedForm(t *testing.T) {
+	// Level 0 is the icosahedron itself.
+	c, e, v := IcosCounts(0)
+	if c != 12 || e != 30 || v != 20 {
+		t.Fatalf("level 0 counts = %d/%d/%d", c, e, v)
+	}
+	// Paper-scale levels (Table 1 atmosphere rows).
+	cases := []struct {
+		resKm int
+		cells float64 // paper's rounded values (hex-cell convention)
+		edges float64
+		verts float64
+	}{
+		{25, 6.7e5, 2.0e6, 1.3e6},
+		{10, 2.6e6, 7.9e6, 5.2e6},
+		{6, 1.1e7, 3.2e7, 2.1e7},
+		{3, 4.2e7, 1.3e8, 8.4e7},
+	}
+	for _, tc := range cases {
+		lvl := GristLevelForRes[tc.resKm]
+		c, e, v := IcosCounts(lvl)
+		for _, chk := range []struct {
+			got  int64
+			want float64
+		}{{c, tc.cells}, {e, tc.edges}, {v, tc.verts}} {
+			if math.Abs(float64(chk.got)-chk.want)/chk.want > 0.05 {
+				t.Errorf("res %d km level %d: got %d, paper %g", tc.resKm, lvl, chk.got, chk.want)
+			}
+		}
+	}
+	// 1 km row: the paper prints the dual (triangle) convention — cells and
+	// vertices swapped.
+	c, e, v = IcosCounts(GristLevelForRes[1])
+	if math.Abs(float64(v)-3.4e8)/3.4e8 > 0.05 {
+		t.Errorf("1 km: paper cells 3.4e8 vs our vertices %d", v)
+	}
+	if math.Abs(float64(e)-5.0e8)/5.0e8 > 0.05 {
+		t.Errorf("1 km: paper edges 5.0e8 vs our edges %d", e)
+	}
+	if math.Abs(float64(c)-1.7e8)/1.7e8 > 0.05 {
+		t.Errorf("1 km: paper vertices 1.7e8 vs our cells %d", c)
+	}
+}
+
+func TestMeshCountsMatchFormulas(t *testing.T) {
+	for lvl := 0; lvl <= 4; lvl++ {
+		m, err := NewIcosMesh(lvl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wc, we, wv := IcosCounts(lvl)
+		if int64(m.NCells()) != wc || int64(m.NEdges()) != we || int64(m.NVertices()) != wv {
+			t.Errorf("level %d: %d/%d/%d, want %d/%d/%d",
+				lvl, m.NCells(), m.NEdges(), m.NVertices(), wc, we, wv)
+		}
+	}
+}
+
+func TestMeshEulerCharacteristic(t *testing.T) {
+	// Property over buildable levels: V - E + F = 2 for the sphere.
+	f := func(raw uint8) bool {
+		lvl := int(raw % 5)
+		m, err := NewIcosMesh(lvl)
+		if err != nil {
+			return false
+		}
+		return m.NCells()-m.NEdges()+m.NVertices() == 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeshAreasCoverSphere(t *testing.T) {
+	m, err := NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cellSum, dualSum float64
+	for _, a := range m.AreaCell {
+		if a <= 0 {
+			t.Fatal("non-positive cell area")
+		}
+		cellSum += a
+	}
+	for _, a := range m.AreaDual {
+		if a <= 0 {
+			t.Fatal("non-positive dual area")
+		}
+		dualSum += a
+	}
+	if math.Abs(cellSum-4*math.Pi) > 1e-9 {
+		t.Errorf("cell areas sum to %v, want 4π", cellSum)
+	}
+	if math.Abs(dualSum-4*math.Pi) > 1e-9 {
+		t.Errorf("dual areas sum to %v, want 4π", dualSum)
+	}
+}
+
+func TestMeshTopologyConsistency(t *testing.T) {
+	m, err := NewIcosMesh(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Twelve pentagons, the rest hexagons.
+	pent := 0
+	for c := range m.EdgesOnCell {
+		switch len(m.EdgesOnCell[c]) {
+		case 5:
+			pent++
+		case 6:
+		default:
+			t.Fatalf("cell %d has %d edges", c, len(m.EdgesOnCell[c]))
+		}
+		// Edge/cell cross-references agree.
+		for k, e := range m.EdgesOnCell[c] {
+			c1, c2 := m.CellsOnEdge[e][0], m.CellsOnEdge[e][1]
+			if c1 != c && c2 != c {
+				t.Fatalf("edge %d not incident to cell %d", e, c)
+			}
+			other := c1
+			if c1 == c {
+				other = c2
+			}
+			if m.CellsOnCell[c][k] != other {
+				t.Fatalf("CellsOnCell mismatch at cell %d slot %d", c, k)
+			}
+			sign := m.EdgeSignOnCell[c][k]
+			if (c1 == c && sign != 1) || (c2 == c && sign != -1) {
+				t.Fatalf("bad outward sign at cell %d edge %d", c, e)
+			}
+		}
+	}
+	if pent != 12 {
+		t.Errorf("%d pentagons, want 12", pent)
+	}
+	// Every edge appears on exactly two cells and two vertices.
+	edgeCellCount := make([]int, m.NEdges())
+	for c := range m.EdgesOnCell {
+		for _, e := range m.EdgesOnCell[c] {
+			edgeCellCount[e]++
+		}
+	}
+	for e, n := range edgeCellCount {
+		if n != 2 {
+			t.Fatalf("edge %d on %d cells", e, n)
+		}
+	}
+	edgeVtxCount := make([]int, m.NEdges())
+	for v := range m.EdgesOnVertex {
+		for _, e := range m.EdgesOnVertex[v] {
+			edgeVtxCount[e]++
+		}
+	}
+	for e, n := range edgeVtxCount {
+		if n != 2 {
+			t.Fatalf("edge %d on %d vertices", e, n)
+		}
+	}
+}
+
+func TestMeshGeometryPositive(t *testing.T) {
+	m, err := NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range m.Dc {
+		if m.Dc[e] <= 0 || m.Dv[e] <= 0 {
+			t.Fatalf("edge %d: dc=%v dv=%v", e, m.Dc[e], m.Dv[e])
+		}
+	}
+	// Unit-vector invariants.
+	for _, p := range m.VertexPos {
+		if math.Abs(p.Norm()-1) > 1e-12 {
+			t.Fatal("vertex not on unit sphere")
+		}
+	}
+	// Resolution decreases by ~2x per level.
+	m2, _ := NewIcosMesh(2)
+	r2, r3 := m2.MeanCellSpacingKm(), m.MeanCellSpacingKm()
+	if r2/r3 < 1.8 || r2/r3 > 2.2 {
+		t.Errorf("spacing ratio %v, want ~2", r2/r3)
+	}
+}
+
+// The discrete curl of a discrete gradient must vanish identically: for any
+// cell scalar h, circulation of grad(h) around every dual triangle is a
+// telescoping sum. This validates the edge orientation conventions that the
+// dycore depends on.
+func TestCurlOfGradientIsZero(t *testing.T) {
+	m, err := NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := make([]float64, m.NCells())
+	for c := range h {
+		h[c] = math.Sin(3*m.LonCell[c]) * math.Cos(2*m.LatCell[c])
+	}
+	gradE := make([]float64, m.NEdges())
+	for e := range gradE {
+		c1, c2 := m.CellsOnEdge[e][0], m.CellsOnEdge[e][1]
+		gradE[e] = (h[c2] - h[c1]) / m.Dc[e]
+	}
+	for v := range m.EdgesOnVertex {
+		var circ float64
+		for k := 0; k < 3; k++ {
+			e := m.EdgesOnVertex[v][k]
+			circ += float64(m.EdgeSignOnVtx[v][k]) * gradE[e] * m.Dc[e]
+		}
+		if math.Abs(circ) > 1e-12 {
+			t.Fatalf("vertex %d: curl(grad) = %v", v, circ)
+		}
+	}
+}
+
+// The discrete divergence theorem: the area-weighted sum of div(u) over all
+// cells is zero for any edge field u, because each edge contributes with
+// opposite signs to its two cells.
+func TestGlobalDivergenceIsZero(t *testing.T) {
+	m, err := NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := make([]float64, m.NEdges())
+	for e := range u {
+		lon, lat := LonLat(m.EdgeMidpoint[e])
+		u[e] = math.Sin(5*lon) + math.Cos(3*lat)
+	}
+	var total float64
+	for c := range m.EdgesOnCell {
+		var div float64
+		for k, e := range m.EdgesOnCell[c] {
+			div += float64(m.EdgeSignOnCell[c][k]) * u[e] * m.Dv[e]
+		}
+		total += div // area cancels: div_c = div/A_c, weight by A_c
+	}
+	if math.Abs(total) > 1e-9 {
+		t.Errorf("global divergence = %v", total)
+	}
+}
+
+func TestNewIcosMeshRejectsBadLevels(t *testing.T) {
+	if _, err := NewIcosMesh(-1); err == nil {
+		t.Error("negative level accepted")
+	}
+	if _, err := NewIcosMesh(8); err == nil {
+		t.Error("level 8 accepted (would allocate ~1M cells)")
+	}
+}
+
+func TestSphereHelpers(t *testing.T) {
+	a := Vec3{1, 0, 0}
+	b := Vec3{0, 1, 0}
+	if d := GreatCircleDist(a, b); math.Abs(d-math.Pi/2) > 1e-14 {
+		t.Errorf("dist = %v", d)
+	}
+	// Octant triangle has area π/2.
+	c := Vec3{0, 0, 1}
+	if ar := SphericalTriangleArea(a, b, c); math.Abs(ar-math.Pi/2) > 1e-12 {
+		t.Errorf("area = %v", ar)
+	}
+	cc := Circumcenter(a, b, c)
+	want := Vec3{1, 1, 1}.Normalize()
+	if cc.Sub(want).Norm() > 1e-12 {
+		t.Errorf("circumcenter = %v", cc)
+	}
+	lon, lat := LonLat(FromLonLat(1.0, 0.5))
+	if math.Abs(lon-1.0) > 1e-14 || math.Abs(lat-0.5) > 1e-14 {
+		t.Errorf("lonlat roundtrip: %v %v", lon, lat)
+	}
+}
+
+func TestLonLatRoundTripProperty(t *testing.T) {
+	f := func(lonRaw, latRaw float64) bool {
+		lon := math.Mod(math.Abs(lonRaw), 2*math.Pi) - math.Pi
+		lat := math.Mod(math.Abs(latRaw), math.Pi) - math.Pi/2
+		l2, la2 := LonLat(FromLonLat(lon, lat))
+		// Longitude is degenerate at the poles.
+		if math.Abs(math.Abs(lat)-math.Pi/2) < 1e-9 {
+			return math.Abs(la2-lat) < 1e-9
+		}
+		return math.Abs(la2-lat) < 1e-9 && math.Abs(math.Mod(l2-lon+3*math.Pi, 2*math.Pi)-math.Pi) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

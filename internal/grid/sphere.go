@@ -1,0 +1,99 @@
+// Package grid provides the two horizontal grids of the reproduction: the
+// icosahedral (cell/edge/vertex) mesh underlying the GRIST-like atmosphere
+// dycore, and the tripolar-style structured latitude–longitude grid
+// underlying the LICOM-like ocean and sea-ice components. It also carries
+// the closed-form element-count formulas and resolution catalogs that
+// regenerate Table 1 of the paper.
+package grid
+
+import "math"
+
+// EarthRadius is the mean Earth radius in metres, used to convert unit-sphere
+// geometry into physical metrics.
+const EarthRadius = 6.371e6
+
+// Vec3 is a point or direction in 3-space; mesh geometry lives on the unit
+// sphere.
+type Vec3 struct{ X, Y, Z float64 }
+
+// Add returns a + b.
+func (a Vec3) Add(b Vec3) Vec3 { return Vec3{a.X + b.X, a.Y + b.Y, a.Z + b.Z} }
+
+// Sub returns a - b.
+func (a Vec3) Sub(b Vec3) Vec3 { return Vec3{a.X - b.X, a.Y - b.Y, a.Z - b.Z} }
+
+// Scale returns s·a.
+func (a Vec3) Scale(s float64) Vec3 { return Vec3{s * a.X, s * a.Y, s * a.Z} }
+
+// Dot returns the inner product a·b.
+func (a Vec3) Dot(b Vec3) float64 { return a.X*b.X + a.Y*b.Y + a.Z*b.Z }
+
+// Cross returns the vector product a × b.
+func (a Vec3) Cross(b Vec3) Vec3 {
+	return Vec3{
+		a.Y*b.Z - a.Z*b.Y,
+		a.Z*b.X - a.X*b.Z,
+		a.X*b.Y - a.Y*b.X,
+	}
+}
+
+// Norm returns |a|.
+func (a Vec3) Norm() float64 { return math.Sqrt(a.Dot(a)) }
+
+// Normalize returns a/|a|; the zero vector is returned unchanged.
+func (a Vec3) Normalize() Vec3 {
+	n := a.Norm()
+	if n == 0 {
+		return a
+	}
+	return a.Scale(1 / n)
+}
+
+// GreatCircleDist returns the central angle (radians) between two unit
+// vectors, numerically stable near both 0 and π.
+func GreatCircleDist(a, b Vec3) float64 {
+	return math.Atan2(a.Cross(b).Norm(), a.Dot(b))
+}
+
+// SphericalTriangleArea returns the area (steradians) of the triangle with
+// unit-vector corners a, b, c, via the van Oosterom–Strackee formula.
+func SphericalTriangleArea(a, b, c Vec3) float64 {
+	num := math.Abs(a.Dot(b.Cross(c)))
+	den := 1 + a.Dot(b) + b.Dot(c) + c.Dot(a)
+	return 2 * math.Atan2(num, den)
+}
+
+// Circumcenter returns the unit-vector circumcenter of spherical triangle
+// (a, b, c), oriented to the same hemisphere as the triangle's centroid.
+func Circumcenter(a, b, c Vec3) Vec3 {
+	cc := b.Sub(a).Cross(c.Sub(a))
+	cc = cc.Normalize()
+	centroid := a.Add(b).Add(c)
+	if cc.Dot(centroid) < 0 {
+		cc = cc.Scale(-1)
+	}
+	return cc
+}
+
+// LonLat converts a unit vector to (longitude, latitude) in radians.
+func LonLat(v Vec3) (lon, lat float64) {
+	lat = math.Asin(clamp(v.Z, -1, 1))
+	lon = math.Atan2(v.Y, v.X)
+	return
+}
+
+// FromLonLat converts (longitude, latitude) in radians to a unit vector.
+func FromLonLat(lon, lat float64) Vec3 {
+	cl := math.Cos(lat)
+	return Vec3{cl * math.Cos(lon), cl * math.Sin(lon), math.Sin(lat)}
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

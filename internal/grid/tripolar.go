@@ -1,0 +1,268 @@
+package grid
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tripolar is the structured ocean/sea-ice grid of the reproduction — a
+// latitude–longitude grid that is periodic in longitude and closes the
+// Arctic with a fold row, standing in for LICOM's tripolar grid (which
+// displaces the two northern poles onto land; the fold here reproduces the
+// same communication pattern across the top boundary without the metric
+// distortion machinery).
+//
+// Cell (i, j) has center longitude Lon[i], latitude Lat[j], i fastest.
+// The analytic land mask produces ≈71 % ocean coverage, matching the
+// motivation for the non-ocean-point exclusion optimization (§5.2.2).
+type Tripolar struct {
+	NX, NY int
+	NLevel int
+
+	Lon []float64 // [NX] cell-center longitudes, radians, [0, 2π)
+	Lat []float64 // [NY] cell-center latitudes, radians, south to north
+
+	DX []float64 // [NY] zonal cell width in metres at each latitude row
+	DY float64   // meridional cell height in metres (uniform)
+
+	Area []float64 // [NY*NX] cell areas in m²
+
+	// Mask is true where the surface cell is ocean.
+	Mask []bool // [NY*NX]
+
+	// Depth is the analytic bathymetry in metres (0 on land).
+	Depth []float64 // [NY*NX]
+
+	// KMT is the number of active vertical levels in each column (0 on land).
+	KMT []int // [NY*NX]
+
+	// LevelDepth[k] is the depth of the bottom of level k in metres.
+	LevelDepth []float64 // [NLevel]
+}
+
+// LICOMConfig is one row of the LICOM resolution catalog (Table 1): the
+// nominal resolution in km and the global grid extents used by the paper.
+type LICOMConfig struct {
+	ResKm      int
+	NLon, NLat int
+	NLevel     int
+}
+
+// LICOMCatalog reproduces the ocean columns of Table 1. Grid extents are
+// configuration constants of the original model (a 0.01° tripolar grid at
+// 1 km, and proportional coarsenings), not derivable quantities.
+var LICOMCatalog = []LICOMConfig{
+	{ResKm: 1, NLon: 36000, NLat: 22018, NLevel: 80},
+	{ResKm: 2, NLon: 18000, NLat: 11511, NLevel: 80},
+	{ResKm: 3, NLon: 10800, NLat: 6907, NLevel: 80},
+	{ResKm: 5, NLon: 7200, NLat: 4605, NLevel: 80},
+	{ResKm: 10, NLon: 3600, NLat: 2302, NLevel: 80},
+}
+
+// LICOMConfigForRes returns the catalog row for a nominal resolution.
+func LICOMConfigForRes(resKm int) (LICOMConfig, error) {
+	for _, c := range LICOMCatalog {
+		if c.ResKm == resKm {
+			return c, nil
+		}
+	}
+	return LICOMConfig{}, fmt.Errorf("grid: no LICOM configuration at %d km", resKm)
+}
+
+// southLat is the southern boundary of the ocean grid (78.5°S, the LICOM
+// convention: the grid stops at the Antarctic coast).
+const southLat = -78.5 * math.Pi / 180
+
+// northLat is the northern boundary, where the tripolar fold seam closes
+// the domain. A real tripolar grid displaces its two northern poles onto
+// land so cell widths stay bounded; the reproduction emulates that by
+// capping the grid at 85°N, keeping the zonal spacing away from the
+// converging-meridian singularity.
+const northLat = 85.0 * math.Pi / 180
+
+// NewTripolar builds an nx × ny × nlevel ocean grid with the analytic land
+// mask and bathymetry. nx must be even (required by the fold exchange).
+func NewTripolar(nx, ny, nlevel int) (*Tripolar, error) {
+	if nx <= 0 || ny <= 0 || nlevel <= 0 {
+		return nil, fmt.Errorf("grid: invalid tripolar extents %d×%d×%d", nx, ny, nlevel)
+	}
+	if nx%2 != 0 {
+		return nil, fmt.Errorf("grid: tripolar nx must be even for the fold, got %d", nx)
+	}
+	g := &Tripolar{NX: nx, NY: ny, NLevel: nlevel}
+
+	g.Lon = make([]float64, nx)
+	for i := range g.Lon {
+		g.Lon[i] = (float64(i) + 0.5) * 2 * math.Pi / float64(nx)
+	}
+	g.Lat = make([]float64, ny)
+	dlat := (northLat - southLat) / float64(ny)
+	for j := range g.Lat {
+		g.Lat[j] = southLat + (float64(j)+0.5)*dlat
+	}
+	g.DY = dlat * EarthRadius
+	g.DX = make([]float64, ny)
+	g.Area = make([]float64, nx*ny)
+	dlon := 2 * math.Pi / float64(nx)
+	for j := range g.Lat {
+		g.DX[j] = dlon * EarthRadius * math.Cos(g.Lat[j])
+		for i := 0; i < nx; i++ {
+			g.Area[j*nx+i] = g.DX[j] * g.DY
+		}
+	}
+
+	g.LevelDepth = stretchedLevels(nlevel)
+	g.Mask = make([]bool, nx*ny)
+	g.Depth = make([]float64, nx*ny)
+	g.KMT = make([]int, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			lon, lat := g.Lon[i], g.Lat[j]
+			d := analyticDepth(lon, lat)
+			idx := j*nx + i
+			if d > 0 {
+				g.Mask[idx] = true
+				g.Depth[idx] = d
+				g.KMT[idx] = levelsFor(d, g.LevelDepth)
+			}
+		}
+	}
+	return g, nil
+}
+
+// stretchedLevels returns bottom depths for nlevel vertical levels with the
+// usual upper-ocean refinement: ~10 m surface layers stretching to ~150 m
+// layers toward a 5500 m maximum depth.
+func stretchedLevels(nlevel int) []float64 {
+	const maxDepth = 5500.0
+	out := make([]float64, nlevel)
+	for k := 0; k < nlevel; k++ {
+		s := (float64(k) + 1) / float64(nlevel)
+		// Cubic stretching: fine near the surface.
+		out[k] = maxDepth * (0.15*s + 0.85*s*s*s)
+	}
+	return out
+}
+
+// levelsFor returns the number of whole levels above depth d.
+func levelsFor(d float64, levels []float64) int {
+	n := 0
+	for _, bot := range levels {
+		if bot <= d {
+			n++
+		} else {
+			break
+		}
+	}
+	if n == 0 {
+		n = 1 // any ocean point keeps at least the surface level
+	}
+	return n
+}
+
+// analyticDepth is the synthetic bathymetry: a smooth basin structure with
+// idealized continents, tuned so the global ocean fraction is ≈71 %.
+// Returns 0 over land, positive depth in metres over ocean.
+func analyticDepth(lon, lat float64) float64 {
+	if landFunction(lon, lat) > 0 {
+		return 0
+	}
+	// Basin depth: deep mid-basin, shallower near the (smooth) coasts and
+	// along a mid-ocean-ridge-like feature.
+	ridge := math.Exp(-squared((math.Mod(lon+math.Pi, 2*math.Pi)-math.Pi)*2)) * 1500
+	base := 4200 + 800*math.Cos(3*lon)*math.Cos(2*lat)
+	d := base - ridge
+	if d < 100 {
+		d = 100
+	}
+	return d
+}
+
+// IsLand reports whether the analytic continents cover (lon, lat), both in
+// radians. The atmosphere and land components share this mask so that
+// surface types agree across components without a remapping file.
+func IsLand(lon, lat float64) bool { return landFunction(lon, lat) > 0 }
+
+// landFunction is positive over land. Idealized continents: two meridional
+// "americas/afro-eurasia" bands widening to the north, an antarctic cap, and
+// an australia-like blob; tuned to ≈29 % land.
+func landFunction(lon, lat float64) float64 {
+	deg := 180 / math.Pi
+	lonD := lon * deg
+	latD := lat * deg
+
+	v := -1.0
+	// Antarctic cap (grid starts at 78.5°S so only its fringe appears).
+	if latD < -70 {
+		v = 1
+	}
+	// "Americas": band near lon 280°, widening with latitude.
+	v = math.Max(v, bandMembership(lonD, latD, 280, 14, -55, 75))
+	// "Afro-Eurasia": wide band near lon 45°.
+	v = math.Max(v, bandMembership(lonD, latD, 45, 30, -35, 75))
+	// "East Asia extension" near lon 105°.
+	v = math.Max(v, bandMembership(lonD, latD, 105, 18, 5, 72))
+	// "Australia" blob.
+	v = math.Max(v, blobMembership(lonD, latD, 133, -25, 20, 12))
+	// "Greenland" blob.
+	v = math.Max(v, blobMembership(lonD, latD, 318, 72, 14, 10))
+	return v
+}
+
+// bandMembership is positive inside a meridional land band centred at
+// lonC with half-width halfW (degrees), between latitudes latS and latN,
+// with a wavy coastline.
+func bandMembership(lonD, latD, lonC, halfW, latS, latN float64) float64 {
+	if latD < latS || latD > latN {
+		return -1
+	}
+	dl := math.Abs(math.Mod(lonD-lonC+540, 360) - 180)
+	wavy := halfW * (1 + 0.25*math.Sin(latD/9) + 0.15*math.Cos(latD/5))
+	return wavy - dl
+}
+
+// blobMembership is positive inside an elliptical blob centred at
+// (lonC, latC) with semi-axes a (lon degrees) and b (lat degrees).
+func blobMembership(lonD, latD, lonC, latC, a, b float64) float64 {
+	dl := math.Mod(lonD-lonC+540, 360) - 180
+	dla := latD - latC
+	return 1 - (dl*dl/(a*a) + dla*dla/(b*b))
+}
+
+func squared(x float64) float64 { return x * x }
+
+// OceanFraction returns the area-weighted fraction of the surface covered
+// by ocean.
+func (g *Tripolar) OceanFraction() float64 {
+	var ocean, total float64
+	for idx, a := range g.Area {
+		total += a
+		if g.Mask[idx] {
+			ocean += a
+		}
+	}
+	return ocean / total
+}
+
+// ActivePoints3D returns the number of wet 3-D grid points (Σ KMT) and the
+// total 3-D points (NX·NY·NLevel); their ratio drives the ≈30 % resource
+// saving of the non-ocean-point exclusion.
+func (g *Tripolar) ActivePoints3D() (active, total int64) {
+	for _, k := range g.KMT {
+		active += int64(k)
+	}
+	return active, int64(g.NX) * int64(g.NY) * int64(g.NLevel)
+}
+
+// Index returns the flat surface index of column (i, j).
+func (g *Tripolar) Index(i, j int) int { return j*g.NX + i }
+
+// FoldPartner returns the longitude index this column exchanges with across
+// the northern fold: the tripolar closure maps i ↔ NX-1-i on the top row.
+func (g *Tripolar) FoldPartner(i int) int { return g.NX - 1 - i }
+
+// Coriolis returns the Coriolis parameter f = 2Ω sin(lat) at row j.
+func (g *Tripolar) Coriolis(j int) float64 {
+	const omega = 7.2921e-5
+	return 2 * omega * math.Sin(g.Lat[j])
+}

@@ -1,0 +1,260 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+func TestTripolarConstruction(t *testing.T) {
+	g, err := NewTripolar(72, 36, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Lon) != 72 || len(g.Lat) != 36 || len(g.Mask) != 72*36 {
+		t.Fatal("extent mismatch")
+	}
+	// Latitudes run south to north inside (southLat, π/2).
+	for j := 1; j < g.NY; j++ {
+		if g.Lat[j] <= g.Lat[j-1] {
+			t.Fatal("latitudes not increasing")
+		}
+	}
+	if g.Lat[0] < southLat || g.Lat[g.NY-1] > math.Pi/2 {
+		t.Fatal("latitude out of range")
+	}
+	// Level depths strictly increasing, 20 of them.
+	for k := 1; k < g.NLevel; k++ {
+		if g.LevelDepth[k] <= g.LevelDepth[k-1] {
+			t.Fatal("level depths not increasing")
+		}
+	}
+}
+
+func TestTripolarValidation(t *testing.T) {
+	if _, err := NewTripolar(0, 10, 5); err == nil {
+		t.Error("accepted zero nx")
+	}
+	if _, err := NewTripolar(71, 36, 20); err == nil {
+		t.Error("accepted odd nx")
+	}
+}
+
+func TestOceanFractionNearSeventyOnePercent(t *testing.T) {
+	// §5.2.2: oceans cover approximately 71% of the surface; the analytic
+	// mask must land close so the exclusion experiment saves ~30%.
+	g, err := NewTripolar(360, 180, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := g.OceanFraction()
+	if frac < 0.66 || frac > 0.76 {
+		t.Errorf("ocean fraction = %.3f, want ~0.71", frac)
+	}
+}
+
+func TestMaskConsistentWithKMTAndDepth(t *testing.T) {
+	g, _ := NewTripolar(144, 72, 30)
+	for idx := range g.Mask {
+		if g.Mask[idx] {
+			if g.Depth[idx] <= 0 || g.KMT[idx] < 1 {
+				t.Fatalf("ocean point %d: depth=%v kmt=%d", idx, g.Depth[idx], g.KMT[idx])
+			}
+			if g.KMT[idx] > g.NLevel {
+				t.Fatalf("kmt exceeds nlevel at %d", idx)
+			}
+		} else {
+			if g.Depth[idx] != 0 || g.KMT[idx] != 0 {
+				t.Fatalf("land point %d: depth=%v kmt=%d", idx, g.Depth[idx], g.KMT[idx])
+			}
+		}
+	}
+}
+
+func TestActivePoints3DSaving(t *testing.T) {
+	g, _ := NewTripolar(360, 180, 40)
+	active, total := g.ActivePoints3D()
+	saving := 1 - float64(active)/float64(total)
+	// The 3-D saving combines the ~29% land fraction and bathymetry cut-off;
+	// the paper reports ~30% resource reduction.
+	if saving < 0.25 || saving > 0.45 {
+		t.Errorf("3-D exclusion saving = %.3f, want 0.25–0.45", saving)
+	}
+}
+
+func TestLICOMCatalogMatchesTable1(t *testing.T) {
+	want := map[int][2]int{
+		1:  {36000, 22018},
+		2:  {18000, 11511},
+		3:  {10800, 6907},
+		5:  {7200, 4605},
+		10: {3600, 2302},
+	}
+	for res, dims := range want {
+		c, err := LICOMConfigForRes(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.NLon != dims[0] || c.NLat != dims[1] || c.NLevel != 80 {
+			t.Errorf("res %d: %+v", res, c)
+		}
+	}
+	if _, err := LICOMConfigForRes(7); err == nil {
+		t.Error("unknown resolution accepted")
+	}
+}
+
+func TestCoriolisSignAndMagnitude(t *testing.T) {
+	g, _ := NewTripolar(72, 36, 10)
+	if g.Coriolis(0) >= 0 {
+		t.Error("southern-hemisphere f not negative")
+	}
+	if g.Coriolis(g.NY-1) <= 0 {
+		t.Error("northern f not positive")
+	}
+	// |f| <= 2Ω.
+	for j := 0; j < g.NY; j++ {
+		if math.Abs(g.Coriolis(j)) > 2*7.2921e-5+1e-12 {
+			t.Fatal("f out of range")
+		}
+	}
+}
+
+func TestFoldPartnerInvolution(t *testing.T) {
+	g, _ := NewTripolar(100, 50, 10)
+	for i := 0; i < g.NX; i++ {
+		if g.FoldPartner(g.FoldPartner(i)) != i {
+			t.Fatalf("fold not an involution at %d", i)
+		}
+	}
+}
+
+func TestBlockDecompositionIndices(t *testing.T) {
+	g, _ := NewTripolar(48, 24, 5)
+	par.Run(4, func(c *par.Comm) {
+		ct := par.NewCart(c, 2, 2, true, false)
+		b, err := NewBlock(g, ct, 2)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if b.NI != 24 || b.NJ != 12 {
+			t.Errorf("block %dx%d", b.NI, b.NJ)
+		}
+		// Global index of local origin.
+		if b.GIdx(0, 0) != b.J0*48+b.I0 {
+			t.Error("GIdx origin mismatch")
+		}
+		if b.LIdx(0, 0) != 2*b.LNI()+2 {
+			t.Error("LIdx origin mismatch")
+		}
+	})
+}
+
+func TestBlockValidation(t *testing.T) {
+	g, _ := NewTripolar(48, 24, 5)
+	par.Run(4, func(c *par.Comm) {
+		ct := par.NewCart(c, 4, 1, true, false)
+		if _, err := NewBlock(g, ct, 0); err == nil {
+			t.Error("halo 0 accepted")
+		}
+		if _, err := NewBlock(g, ct, 30); err == nil {
+			t.Error("oversized halo accepted")
+		}
+	})
+	par.Run(5, func(c *par.Comm) {
+		ct := par.NewCart(c, 5, 1, true, false)
+		if _, err := NewBlock(g, ct, 1); err == nil {
+			t.Error("non-divisible layout accepted")
+		}
+	})
+}
+
+// haloReference fills ghost cells of a global field according to the grid's
+// boundary rules, for comparison against the distributed exchange.
+func globalAt(g *Tripolar, f []float64, i, j int) float64 {
+	// periodic x
+	i = ((i % g.NX) + g.NX) % g.NX
+	if j < 0 {
+		j = 0 // zero-gradient south
+	}
+	if j >= g.NY {
+		// fold: row NY+r maps to row NY-1-r with mirrored longitude
+		r := j - g.NY
+		j = g.NY - 1 - r
+		i = g.NX - 1 - i
+	}
+	return f[j*g.NX+i]
+}
+
+func TestHaloExchangeMatchesGlobalReference(t *testing.T) {
+	g, err := NewTripolar(24, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	global := make([]float64, g.NX*g.NY)
+	for idx := range global {
+		global[idx] = float64(idx)*1.5 + 3
+	}
+	for _, layout := range [][2]int{{1, 1}, {2, 2}, {4, 1}, {1, 4}, {2, 3}} {
+		nx, ny := layout[0], layout[1]
+		par.Run(nx*ny, func(c *par.Comm) {
+			ct := par.NewCart(c, nx, ny, true, false)
+			b, err := NewBlock(g, ct, 1)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f := b.Alloc()
+			for lj := 0; lj < b.NJ; lj++ {
+				for li := 0; li < b.NI; li++ {
+					f[b.LIdx(li, lj)] = global[b.GIdx(li, lj)]
+				}
+			}
+			b.Exchange(f)
+			// Every local cell including ghosts must match the reference.
+			for lj := -1; lj <= b.NJ; lj++ {
+				for li := -1; li <= b.NI; li++ {
+					// Skip the four corners at the fold row: the fold and
+					// periodic wrap interact there and the reproduction's
+					// two-phase exchange defines corners via post-fold x
+					// exchange, which matches the reference too.
+					gi, gj := b.I0+li, b.J0+lj
+					want := globalAt(g, global, gi, gj)
+					got := f[(lj+1)*b.LNI()+li+1]
+					if math.Abs(got-want) > 1e-12 {
+						t.Errorf("layout %dx%d rank %d: ghost (%d,%d) global (%d,%d) = %v, want %v",
+							nx, ny, c.Rank(), li, lj, gi, gj, got, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestGatherGlobalReassembles(t *testing.T) {
+	g, _ := NewTripolar(24, 12, 3)
+	par.Run(6, func(c *par.Comm) {
+		ct := par.NewCart(c, 3, 2, true, false)
+		b, _ := NewBlock(g, ct, 1)
+		f := b.Alloc()
+		for lj := 0; lj < b.NJ; lj++ {
+			for li := 0; li < b.NI; li++ {
+				f[b.LIdx(li, lj)] = float64(b.GIdx(li, lj))
+			}
+		}
+		out := b.GatherGlobal(f)
+		if c.Rank() == 0 {
+			for idx := range out {
+				if out[idx] != float64(idx) {
+					t.Errorf("global[%d] = %v", idx, out[idx])
+					return
+				}
+			}
+		} else if out != nil {
+			t.Error("non-root got data")
+		}
+	})
+}

@@ -1,0 +1,181 @@
+package land
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func newLand(t *testing.T) (*Model, *grid.IcosMesh) {
+	t.Helper()
+	mesh, err := grid.NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := New(mesh, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, mesh
+}
+
+func TestLandCellsMatchMask(t *testing.T) {
+	m, mesh := newLand(t)
+	if m.NLand() == 0 {
+		t.Fatal("no land cells")
+	}
+	frac := float64(m.NLand()) / float64(mesh.NCells())
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("land fraction %.2f, want ~0.29", frac)
+	}
+	for _, c := range m.Cells {
+		if !grid.IsLand(mesh.LonCell[c], mesh.LatCell[c]) {
+			t.Fatalf("cell %d not land", c)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	mesh, _ := grid.NewIcosMesh(1)
+	if _, err := New(mesh, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestStepNonLandCellRejected(t *testing.T) {
+	m, mesh := newLand(t)
+	// Find an ocean cell.
+	for c := 0; c < mesh.NCells(); c++ {
+		if !grid.IsLand(mesh.LonCell[c], mesh.LatCell[c]) {
+			if _, err := m.StepCell(c, Forcing{}, 600); err == nil {
+				t.Error("ocean cell accepted")
+			}
+			return
+		}
+	}
+}
+
+func sunnyForcing() Forcing {
+	return Forcing{
+		GSW: 600, GLW: 350, TAir: 290, QAir: 0.008,
+		Wind: 5, Precip: 0, PSfc: 1e5,
+	}
+}
+
+func TestStrongSunWarmsSoil(t *testing.T) {
+	m, _ := newLand(t)
+	c := m.Cells[0]
+	t0 := m.TSoil[0]
+	for i := 0; i < 48; i++ {
+		if _, err := m.StepCell(c, sunnyForcing(), 1800); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.TSoil[0] <= t0 {
+		t.Errorf("soil did not warm under 600 W/m²: %v -> %v", t0, m.TSoil[0])
+	}
+	if m.TSoil[0] > 340 {
+		t.Errorf("soil runaway: %v", m.TSoil[0])
+	}
+}
+
+func TestNoSunCoolsSoil(t *testing.T) {
+	m, _ := newLand(t)
+	c := m.Cells[0]
+	f := sunnyForcing()
+	f.GSW = 0
+	f.GLW = 200
+	t0 := m.TSoil[0]
+	for i := 0; i < 48; i++ {
+		m.StepCell(c, f, 1800)
+	}
+	if m.TSoil[0] >= t0 {
+		t.Errorf("soil did not cool at night: %v -> %v", t0, m.TSoil[0])
+	}
+}
+
+func TestEnergyBalanceEquilibrium(t *testing.T) {
+	// Under fixed forcing the slab must approach a steady state where
+	// absorbed ≈ emitted + turbulent fluxes.
+	m, _ := newLand(t)
+	c := m.Cells[0]
+	f := sunnyForcing()
+	for i := 0; i < 5000; i++ {
+		m.StepCell(c, f, 3600)
+	}
+	r, err := m.StepCell(c, f, 3600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := m.Cfg
+	absorbed := (1-cfg.Albedo)*f.GSW + cfg.Emissivity*f.GLW
+	emitted := cfg.Emissivity * 5.670e-8 * math.Pow(r.TSkin, 4)
+	residual := absorbed - emitted - r.SHF - r.LHF
+	if math.Abs(residual) > 5 {
+		t.Errorf("equilibrium residual %v W/m²", residual)
+	}
+}
+
+func TestBucketHydrology(t *testing.T) {
+	m, _ := newLand(t)
+	c := m.Cells[0]
+	slot := 0
+	// Heavy rain fills the bucket and eventually produces runoff.
+	f := sunnyForcing()
+	f.GSW = 0
+	f.Precip = 1e-3 // kg/m²/s = 3.6 mm/h
+	var sawRunoff bool
+	for i := 0; i < 200; i++ {
+		m.StepCell(c, f, 3600)
+		if m.Runoff[slot] > 0 {
+			sawRunoff = true
+		}
+		if m.Bucket[slot] > bucketCap+1e-12 {
+			t.Fatal("bucket exceeded capacity")
+		}
+	}
+	if !sawRunoff {
+		t.Error("no runoff under sustained heavy rain")
+	}
+	// Drought: bucket drains, beta limits evaporation.
+	f.Precip = 0
+	f.GSW = 700
+	for i := 0; i < 3000; i++ {
+		m.StepCell(c, f, 3600)
+	}
+	if m.Bucket[slot] > bucketCap/4 {
+		t.Errorf("bucket did not dry: %v", m.Bucket[slot])
+	}
+	if m.Bucket[slot] < 0 {
+		t.Error("negative bucket")
+	}
+}
+
+func TestEvaporationRequiresWaterAndWind(t *testing.T) {
+	m, _ := newLand(t)
+	c := m.Cells[0]
+	slot := 0
+	m.Bucket[slot] = 0
+	r, _ := m.StepCell(c, sunnyForcing(), 600)
+	if r.Evap != 0 {
+		t.Errorf("evaporation %v from empty bucket", r.Evap)
+	}
+	m.Bucket[slot] = bucketCap
+	f := sunnyForcing()
+	f.Wind = 0
+	r, _ = m.StepCell(c, f, 600)
+	if r.Evap != 0 {
+		t.Errorf("evaporation %v with no wind", r.Evap)
+	}
+}
+
+func TestDiagnostics(t *testing.T) {
+	m, _ := newLand(t)
+	if m.MeanSoilTemp() < 230 || m.MeanSoilTemp() > 310 {
+		t.Errorf("mean soil T %v", m.MeanSoilTemp())
+	}
+	if m.TotalWater() <= 0 {
+		t.Error("no initial soil water")
+	}
+}

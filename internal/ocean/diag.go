@@ -1,0 +1,155 @@
+package ocean
+
+import (
+	"math"
+
+	"repro/internal/par"
+)
+
+// TracerContent returns the global volume integral of a tracer field
+// (Σ tr·vol over wet cells), reduced across ranks. Conserved by transport;
+// changed only by surface forcing.
+func (o *Ocean) TracerContent(tr []float64) float64 {
+	n2 := o.LNI * o.LNJ
+	var local float64
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		area := o.G.DX[jg] * o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			for k := 0; k < o.kmt[c]; k++ {
+				local += tr[k*n2+c] * area * o.dz[k]
+			}
+		}
+	}
+	return o.B.Cart.Comm.Allreduce(local, par.OpSum)
+}
+
+// MeanSSH returns the area-weighted global mean sea surface height over wet
+// cells. Volume conservation of the barotropic solver keeps it near its
+// initial value.
+func (o *Ocean) MeanSSH() float64 {
+	var num, den float64
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		area := o.G.DX[jg] * o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			if !o.maskT[c] {
+				continue
+			}
+			num += o.Eta[c] * area
+			den += area
+		}
+	}
+	num = o.B.Cart.Comm.Allreduce(num, par.OpSum)
+	den = o.B.Cart.Comm.Allreduce(den, par.OpSum)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// SurfaceKineticEnergy returns the global mean surface kinetic energy
+// ½(u²+v²) over wet cells — the quantity mapped in Fig 1a/1c.
+func (o *Ocean) SurfaceKineticEnergy() float64 {
+	var num, den float64
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		area := o.G.DX[jg] * o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			if !o.maskT[c] {
+				continue
+			}
+			u := 0.5 * (o.U[c] + o.U[c-1])
+			v := 0.5 * (o.V[c] + o.V[c-o.LNI])
+			num += 0.5 * (u*u + v*v) * area
+			den += area
+		}
+	}
+	num = o.B.Cart.Comm.Allreduce(num, par.OpSum)
+	den = o.B.Cart.Comm.Allreduce(den, par.OpSum)
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// MaxSurfaceSpeed returns the global maximum surface current speed.
+func (o *Ocean) MaxSurfaceSpeed() float64 {
+	local := 0.0
+	for lj := 0; lj < o.B.NJ; lj++ {
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			if !o.maskT[c] {
+				continue
+			}
+			u := 0.5 * (o.U[c] + o.U[c-1])
+			v := 0.5 * (o.V[c] + o.V[c-o.LNI])
+			if s := math.Hypot(u, v); s > local {
+				local = s
+			}
+		}
+	}
+	return o.B.Cart.Comm.Allreduce(local, par.OpMax)
+}
+
+// SurfaceRossby computes the local sea-surface Rossby number field
+// ζ/f — relative vorticity normalized by the Coriolis parameter — the
+// typhoon-response diagnostic of Fig 6c/6d. Land and near-equator cells
+// (|f| below threshold) hold zero. The returned slice covers the owned
+// region in row-major order (NJ × NI).
+func (o *Ocean) SurfaceRossby() []float64 {
+	o.B.ExchangeVec(o.U[:o.LNI*o.LNJ])
+	o.B.ExchangeVec(o.V[:o.LNI*o.LNJ])
+	out := make([]float64, o.B.NJ*o.B.NI)
+	const fMin = 1e-5
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		f := o.G.Coriolis(jg)
+		if math.Abs(f) < fMin {
+			continue
+		}
+		dxT := o.G.DX[jg]
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			if !o.maskT[c] {
+				continue
+			}
+			zeta := (o.V[c] - o.V[c-1]) / dxT
+			zeta -= (o.U[c] - o.U[c-o.LNI]) / o.G.DY
+			out[lj*o.B.NI+li] = zeta / f
+		}
+	}
+	return out
+}
+
+// GatherSurface assembles the owned part of a local 2-D field into a global
+// array on rank 0 (nil elsewhere), for output and plotting.
+func (o *Ocean) GatherSurface(f []float64) []float64 {
+	return o.B.GatherGlobal(f)
+}
+
+// surfaceOwned extracts the owned region (NJ × NI) of the surface level of
+// a local field (2-D, or level 0 of a 3-D field).
+func (o *Ocean) surfaceOwned(f []float64) []float64 {
+	out := make([]float64, o.B.NJ*o.B.NI)
+	for lj := 0; lj < o.B.NJ; lj++ {
+		for li := 0; li < o.B.NI; li++ {
+			out[lj*o.B.NI+li] = f[o.idx2(li, lj)]
+		}
+	}
+	return out
+}
+
+// SurfaceTemperature returns the local owned-region SST (NJ × NI).
+func (o *Ocean) SurfaceTemperature() []float64 {
+	out := make([]float64, o.B.NJ*o.B.NI)
+	for lj := 0; lj < o.B.NJ; lj++ {
+		for li := 0; li < o.B.NI; li++ {
+			out[lj*o.B.NI+li] = o.T[o.idx2(li, lj)]
+		}
+	}
+	return out
+}

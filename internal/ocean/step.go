@@ -1,0 +1,389 @@
+package ocean
+
+import (
+	"repro/internal/grid"
+	"repro/internal/precision"
+)
+
+// Step advances the ocean one baroclinic step: (1) 3-D baroclinic momentum,
+// (2) fast barotropic subcycle updating SSH and the depth-mean flow,
+// (3) conservative tracer transport, (4) optional FP32 group quantization
+// under the mixed-precision policy.
+func (o *Ocean) Step() {
+	dt := o.Cfg.DtBaroclinic
+	o.baroclinicMomentum(dt)
+	o.barotropicCycle(dt)
+	o.tracerStep(dt)
+	if o.Cfg.RiMixing {
+		o.ApplyRiMixing(o.Cfg.Mixing, dt)
+	}
+	if o.Cfg.Policy == precision.Mixed {
+		// §5.2.3: dynamical-core state is stored through group-scaled FP32;
+		// accumulations above stayed FP64.
+		for _, f := range [][]float64{o.U, o.V, o.T, o.S, o.Eta} {
+			if err := precision.QuantizeInPlace(f, o.Cfg.PrecisionGroup); err != nil {
+				panic(err)
+			}
+		}
+	}
+	o.steps++
+}
+
+// baroclinicMomentum applies Coriolis, surface-slope and baroclinic
+// pressure gradients, wind stress, Laplacian viscosity, and bottom drag to
+// the 3-D velocity.
+func (o *Ocean) baroclinicMomentum(dt float64) {
+	o.exchange3D(o.T, false)
+	o.exchange3D(o.S, false)
+	o.exchange3D(o.U, true)
+	o.exchange3D(o.V, true)
+	o.B.Exchange(o.Eta)
+	// Wind stress is face-averaged, so its halo must be current; it changes
+	// every coupling interval through Import.
+	o.B.ExchangeVec(o.TauX)
+	o.B.ExchangeVec(o.TauY)
+
+	n2 := o.LNI * o.LNJ
+	// Hydrostatic baroclinic pressure p'(k) at cell centers, halos included.
+	pr := make([]float64, o.NL*n2)
+	for idx := 0; idx < n2; idx++ {
+		if !o.maskT[idx] {
+			continue
+		}
+		acc := 0.0
+		for k := 0; k < o.kmt[idx]; k++ {
+			i3 := k*n2 + idx
+			acc += Gravity * Rho(o.T[i3], o.S[i3]) * o.dz[k]
+			pr[i3] = acc
+		}
+	}
+
+	newU := make([]float64, len(o.U))
+	copy(newU, o.U)
+	newV := make([]float64, len(o.V))
+	copy(newV, o.V)
+
+	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
+		jg := o.B.J0 + lj
+		f := o.G.Coriolis(jg)
+		dxT := o.G.DX[jg]
+		dy := o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			e := c + 1
+			n := c + o.LNI
+			for k := 0; k < o.NL; k++ {
+				i3 := k*n2 + c
+				// U face (east of cell li).
+				if o.faceWetU(k, li, lj) {
+					// Average V onto the U point (4-point).
+					vav := 0.25 * (o.V[i3] + o.V[i3+1] + o.V[i3-o.LNI] + o.V[i3-o.LNI+1])
+					du := f * vav
+					du -= Gravity * (o.Eta[e] - o.Eta[c]) / dxT
+					du -= (pr[k*n2+e] - pr[k*n2+c]) / (Rho0 * dxT)
+					du += o.Cfg.AH * o.lap(o.U, k, li, lj, dxT, dy)
+					if k == 0 {
+						tau := 0.5 * (o.TauX[c] + o.TauX[e])
+						du += tau / (Rho0 * o.dz[0])
+					}
+					if k == minInt(o.kmt[c], o.kmt[e])-1 {
+						du -= o.Cfg.BottomDrag * o.U[i3] // Rayleigh drag
+					}
+					newU[i3] = o.U[i3] + dt*du
+				}
+				// V face (north of cell lj).
+				if o.faceWetV(k, li, lj) {
+					fv := o.G.Coriolis(minIntCap(jg+1, o.G.NY-1))
+					fm := 0.5 * (f + fv)
+					uav := 0.25 * (o.U[i3] + o.U[i3-1] + o.U[k*n2+n] + o.U[k*n2+n-1])
+					dv := -fm * uav
+					dv -= Gravity * (o.Eta[n] - o.Eta[c]) / dy
+					dv -= (pr[k*n2+n] - pr[k*n2+c]) / (Rho0 * dy)
+					dv += o.Cfg.AH * o.lap(o.V, k, li, lj, dxT, dy)
+					if k == 0 {
+						tau := 0.5 * (o.TauY[c] + o.TauY[n])
+						dv += tau / (Rho0 * o.dz[0])
+					}
+					if k == minInt(o.kmt[c], o.kmt[n])-1 {
+						dv -= o.Cfg.BottomDrag * o.V[i3]
+					}
+					newV[i3] = o.V[i3] + dt*dv
+				}
+			}
+		}
+	})
+	o.U = newU
+	o.V = newV
+}
+
+// lap is the 5-point Laplacian of a 3-D field at level k, owned cell
+// (li, lj), masked to wet faces.
+func (o *Ocean) lap(fld []float64, k, li, lj int, dx, dy float64) float64 {
+	n2 := o.LNI * o.LNJ
+	i3 := k*n2 + o.idx2(li, lj)
+	c := fld[i3]
+	lapx := (fld[i3+1] - 2*c + fld[i3-1]) / (dx * dx)
+	lapy := (fld[i3+o.LNI] - 2*c + fld[i3-o.LNI]) / (dy * dy)
+	return lapx + lapy
+}
+
+// barotropicCycle subcycles the 2-D free-surface equations with the
+// standard forward-backward scheme (continuity first, then momentum using
+// the updated surface height — neutrally stable for the external gravity
+// wave, unlike forward Euler), then replaces the depth-mean of the 3-D
+// velocity with the barotropic solution (the split-explicit correction).
+func (o *Ocean) barotropicCycle(dt float64) {
+	nsub := o.Cfg.NBarotropicSub
+	dtb := dt / float64(nsub)
+	for s := 0; s < nsub; s++ {
+		o.B.ExchangeVec(o.Ubar)
+		o.B.ExchangeVec(o.Vbar)
+		o.B.Exchange(o.Eta)
+
+		// --- Continuity (forward): η from the current transports ---
+		newEta := make([]float64, len(o.Eta))
+		copy(newEta, o.Eta)
+		o.Sp.ParallelFor(o.B.NJ, func(lj int) {
+			jg := o.B.J0 + lj
+			dxT := o.G.DX[jg]
+			dy := o.G.DY
+			for li := 0; li < o.B.NI; li++ {
+				c := o.idx2(li, lj)
+				if !o.maskT[c] {
+					continue
+				}
+				e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
+				he := faceDepth(o.depth[c], o.depth[e])
+				hw := faceDepth(o.depth[w], o.depth[c])
+				hn := faceDepth(o.depth[c], o.depth[n])
+				hs := faceDepth(o.depth[sIdx], o.depth[c])
+				fe := o.Ubar[c] * he * dy
+				fw := o.Ubar[w] * hw * dy
+				fn := 0.0
+				if o.faceWetV(0, li, lj) {
+					fn = o.Vbar[c] * hn * dxT
+				}
+				fs := 0.0
+				if !o.southClosed(lj) {
+					fs = o.Vbar[sIdx] * hs * dxAt(o.G, jg-1)
+				}
+				area := dxT * dy
+				newEta[c] = o.Eta[c] - dtb*(fe-fw+fn-fs)/area
+			}
+		})
+		o.Eta = newEta
+		o.B.Exchange(o.Eta)
+
+		// --- Momentum (backward): transports from the new η ---
+		newUb := make([]float64, len(o.Ubar))
+		copy(newUb, o.Ubar)
+		newVb := make([]float64, len(o.Vbar))
+		copy(newVb, o.Vbar)
+		o.Sp.ParallelFor(o.B.NJ, func(lj int) {
+			jg := o.B.J0 + lj
+			f := o.G.Coriolis(jg)
+			dxT := o.G.DX[jg]
+			dy := o.G.DY
+			for li := 0; li < o.B.NI; li++ {
+				c := o.idx2(li, lj)
+				if !o.maskT[c] {
+					continue
+				}
+				e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
+				he := faceDepth(o.depth[c], o.depth[e])
+				hn := faceDepth(o.depth[c], o.depth[n])
+				if o.faceWetU(0, li, lj) {
+					vav := 0.25 * (o.Vbar[c] + o.Vbar[e] + o.Vbar[sIdx] + o.Vbar[sIdx+1])
+					du := f*vav - Gravity*(o.Eta[e]-o.Eta[c])/dxT
+					du += 0.5 * (o.TauX[c] + o.TauX[e]) / (Rho0 * maxF(he, 1))
+					du -= o.Cfg.BottomDrag * o.Ubar[c]
+					newUb[c] = o.Ubar[c] + dtb*du
+				}
+				if o.faceWetV(0, li, lj) {
+					uav := 0.25 * (o.Ubar[c] + o.Ubar[w] + o.Ubar[n] + o.Ubar[n-1])
+					dv := -f*uav - Gravity*(o.Eta[n]-o.Eta[c])/dy
+					dv += 0.5 * (o.TauY[c] + o.TauY[n]) / (Rho0 * maxF(hn, 1))
+					dv -= o.Cfg.BottomDrag * o.Vbar[c]
+					newVb[c] = o.Vbar[c] + dtb*dv
+				}
+			}
+		})
+		o.Ubar = newUb
+		o.Vbar = newVb
+	}
+
+	// Split correction: impose the barotropic depth-mean on the 3-D field.
+	n2 := o.LNI * o.LNJ
+	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			o.imposeMean(o.U, o.Ubar, c, minInt(o.kmt[c], o.kmt[c+1]), n2)
+			o.imposeMean(o.V, o.Vbar, c, minInt(o.kmt[c], o.kmt[c+o.LNI]), n2)
+		}
+	})
+}
+
+// imposeMean shifts a velocity column so its depth mean equals the
+// barotropic value.
+func (o *Ocean) imposeMean(f []float64, bar []float64, c, kmax, n2 int) {
+	if kmax <= 0 {
+		return
+	}
+	var sum, h float64
+	for k := 0; k < kmax; k++ {
+		sum += f[k*n2+c] * o.dz[k]
+		h += o.dz[k]
+	}
+	shift := bar[c] - sum/h
+	for k := 0; k < kmax; k++ {
+		f[k*n2+c] += shift
+	}
+}
+
+// tracerStep advances temperature and salinity with conservative upwind
+// flux-form advection, Laplacian diffusion, explicit vertical diffusion,
+// and the surface heat / freshwater forcing.
+func (o *Ocean) tracerStep(dt float64) {
+	o.exchange3D(o.T, false)
+	o.exchange3D(o.S, false)
+	o.exchange3D(o.U, true)
+	o.exchange3D(o.V, true)
+	o.T = o.advectDiffuse(o.T, dt, o.surfaceTForcing)
+	o.S = o.advectDiffuse(o.S, dt, o.surfaceSForcing)
+}
+
+func (o *Ocean) surfaceTForcing(c int) float64 {
+	return o.QHeat[c] / (Rho0 * Cp * o.dz[0])
+}
+
+func (o *Ocean) surfaceSForcing(c int) float64 {
+	return o.FWFlux[c]
+}
+
+// advectDiffuse computes one conservative tracer update. Fluxes are
+// evaluated once per face from the cell pair it separates, so the sum of
+// tracer content changes only through the (zero) boundary and the surface
+// forcing — the conservation property the tests assert.
+// advectDiffuse computes one conservative tracer update. Fluxes are
+// evaluated once per face from the cell pair it separates, so the sum of
+// tracer content changes only through the (zero) boundary and the surface
+// forcing — the conservation property the tests assert.
+func (o *Ocean) advectDiffuse(tr []float64, dt float64, surf func(c int) float64) []float64 {
+	out := make([]float64, len(tr))
+	copy(out, tr)
+	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
+		for li := 0; li < o.B.NI; li++ {
+			if o.maskT[o.idx2(li, lj)] {
+				o.updateColumn(tr, out, dt, li, lj, surf)
+			}
+		}
+	})
+	return out
+}
+
+// updateColumn applies the conservative advection–diffusion update to every
+// active level of one wet column. It is shared by the full-grid sweep and
+// the compacted wet-column sweep (§5.2.2), which must agree bit for bit.
+func (o *Ocean) updateColumn(tr, out []float64, dt float64, li, lj int, surf func(c int) float64) {
+	n2 := o.LNI * o.LNJ
+	jg := o.B.J0 + lj
+	dxT := o.G.DX[jg]
+	dy := o.G.DY
+	area := dxT * dy
+	c := o.idx2(li, lj)
+	for k := 0; k < o.kmt[c]; k++ {
+		i3 := k*n2 + c
+		vol := area * o.dz[k]
+		var div float64
+
+		// East face flux (positive = out of this cell).
+		if o.faceWetU(k, li, lj) {
+			div += faceFlux(o.U[i3], tr[i3], tr[i3+1], dy*o.dz[k], o.Cfg.KH, dxT)
+		}
+		// West face (owned by the western cell; recompute mirrored).
+		if o.kmt[c-1] > k && o.kmt[c] > k {
+			div -= faceFlux(o.U[i3-1], tr[i3-1], tr[i3], dy*o.dz[k], o.Cfg.KH, dxT)
+		}
+		// North face.
+		if o.faceWetV(k, li, lj) {
+			div += faceFlux(o.V[i3], tr[i3], tr[i3+o.LNI], dxT*o.dz[k], o.Cfg.KH, dy)
+		}
+		// South face (closed at the southern wall).
+		if !o.southClosed(lj) && o.kmt[c-o.LNI] > k && o.kmt[c] > k {
+			div -= faceFlux(o.V[i3-o.LNI], tr[i3-o.LNI], tr[i3], dxAt(o.G, jg-1)*o.dz[k], o.Cfg.KH, dy)
+		}
+
+		upd := tr[i3] - dt*div/vol
+
+		// Explicit vertical diffusion in flux form: the flux through
+		// the interface between levels k-1 and k uses the interface
+		// spacing, so content moves between layers without loss.
+		if k > 0 {
+			dzw := 0.5 * (o.dz[k-1] + o.dz[k])
+			upd += dt * o.Cfg.KV * (tr[i3-n2] - tr[i3]) / (dzw * o.dz[k])
+		}
+		if k < o.kmt[c]-1 {
+			dzw := 0.5 * (o.dz[k] + o.dz[k+1])
+			upd += dt * o.Cfg.KV * (tr[i3+n2] - tr[i3]) / (dzw * o.dz[k])
+		}
+		if k == 0 {
+			upd += dt * surf(c)
+		}
+		out[i3] = upd
+	}
+}
+
+// faceFlux returns the combined upwind-advective and diffusive tracer flux
+// through one face: u·len·T_up − K·len·(T2−T1)/d.
+func faceFlux(u, t1, t2, faceArea, kh, d float64) float64 {
+	var adv float64
+	if u >= 0 {
+		adv = u * faceArea * t1
+	} else {
+		adv = u * faceArea * t2
+	}
+	return adv - kh*faceArea*(t2-t1)/d
+}
+
+// faceDepth is the depth at a velocity face: the shallower neighbour
+// (no flow into a cliff).
+func faceDepth(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// dxAt returns the zonal spacing at a (possibly out-of-range) global row:
+// clamped at the southern boundary, reflected across the northern fold.
+func dxAt(g *grid.Tripolar, j int) float64 {
+	if j < 0 {
+		j = 0
+	}
+	if j >= g.NY {
+		j = 2*g.NY - 1 - j
+	}
+	return g.DX[j]
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// minIntCap clamps a to at most cap.
+func minIntCap(a, cap int) int {
+	if a > cap {
+		return cap
+	}
+	return a
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

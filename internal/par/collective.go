@@ -1,0 +1,145 @@
+package par
+
+import "fmt"
+
+// Op is a reduction operator over float64.
+type Op func(a, b float64) float64
+
+// Built-in reduction operators.
+var (
+	OpSum Op = func(a, b float64) float64 { return a + b }
+	OpMax Op = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+	OpMin Op = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+)
+
+// Bcast distributes root's value to all ranks and returns it.
+func Bcast[T any](c *Comm, root int, v T) T {
+	all := c.exchange(any(v))
+	out, ok := all[root].(T)
+	if !ok {
+		panic(fmt.Sprintf("par: Bcast type mismatch at root %d: %T", root, all[root]))
+	}
+	return out
+}
+
+// Allreduce reduces one float64 per rank with op and returns the result on
+// every rank. Reduction order is fixed by rank, so results are deterministic.
+func (c *Comm) Allreduce(v float64, op Op) float64 {
+	all := c.exchange(v)
+	acc := all[0].(float64)
+	for _, x := range all[1:] {
+		acc = op(acc, x.(float64))
+	}
+	return acc
+}
+
+// AllreduceSlice element-wise reduces equal-length slices across ranks.
+// The returned slice is freshly allocated on every rank.
+func (c *Comm) AllreduceSlice(v []float64, op Op) []float64 {
+	all := c.exchange(v)
+	first := all[0].([]float64)
+	out := make([]float64, len(first))
+	copy(out, first)
+	for r := 1; r < len(all); r++ {
+		x := all[r].([]float64)
+		if len(x) != len(out) {
+			panic(fmt.Sprintf("par: AllreduceSlice length mismatch: rank 0 has %d, rank %d has %d", len(out), r, len(x)))
+		}
+		for i := range out {
+			out[i] = op(out[i], x[i])
+		}
+	}
+	return out
+}
+
+// AllreduceInt reduces one int per rank with integer addition.
+func (c *Comm) AllreduceInt(v int) int {
+	all := c.exchange(v)
+	sum := 0
+	for _, x := range all {
+		sum += x.(int)
+	}
+	return sum
+}
+
+// Gather collects one value per rank at root; non-root ranks receive nil.
+func Gather[T any](c *Comm, root int, v T) []T {
+	all := c.exchange(any(v))
+	if c.rank != root {
+		return nil
+	}
+	out := make([]T, len(all))
+	for i, x := range all {
+		out[i] = x.(T)
+	}
+	return out
+}
+
+// Allgather collects one value per rank on every rank, ordered by rank.
+func Allgather[T any](c *Comm, v T) []T {
+	all := c.exchange(any(v))
+	out := make([]T, len(all))
+	for i, x := range all {
+		out[i] = x.(T)
+	}
+	return out
+}
+
+// Scatter distributes vals[i] from root to rank i. Only root's vals are
+// consulted; it must have exactly Size elements.
+func Scatter[T any](c *Comm, root int, vals []T) T {
+	var payload any
+	if c.rank == root {
+		if len(vals) != c.state.size {
+			panic(fmt.Sprintf("par: Scatter needs %d values, got %d", c.state.size, len(vals)))
+		}
+		payload = vals
+	}
+	all := c.exchange(payload)
+	rv := all[root].([]T)
+	return rv[c.rank]
+}
+
+// Alltoall sends send[i] to rank i and returns the values received from each
+// rank, ordered by source rank. send must have Size elements.
+func Alltoall[T any](c *Comm, send []T) []T {
+	if len(send) != c.state.size {
+		panic(fmt.Sprintf("par: Alltoall needs %d values, got %d", c.state.size, len(send)))
+	}
+	all := c.exchange(any(send))
+	out := make([]T, c.state.size)
+	for src, x := range all {
+		out[src] = x.([]T)[c.rank]
+	}
+	return out
+}
+
+// AlltoallvF64 exchanges variable-length float64 blocks: send[i] goes to
+// rank i. The returned slice holds, per source rank, the block that rank
+// sent here. This is the communication core of the coupler's baseline
+// rearranger (§5.2.4).
+func (c *Comm) AlltoallvF64(send [][]float64) [][]float64 {
+	return Alltoall(c, send)
+}
+
+// ExclusiveScanInt returns the exclusive prefix sum of v across ranks:
+// rank r receives sum of values from ranks 0..r-1 (0 on rank 0). Used for
+// global offset computation in I/O and GSMap construction.
+func (c *Comm) ExclusiveScanInt(v int) int {
+	all := c.exchange(v)
+	sum := 0
+	for r := 0; r < c.rank; r++ {
+		sum += all[r].(int)
+	}
+	return sum
+}

@@ -1,0 +1,344 @@
+// Package par is an in-process message-passing runtime that substitutes for
+// MPI in this reproduction. Ranks are goroutines sharing a World; each World
+// provides communicators with point-to-point messaging (blocking and
+// nonblocking), collectives, and topology helpers.
+//
+// Semantics follow MPI where it matters to the ported code:
+//
+//   - messages between a (source, destination, tag) triple are delivered in
+//     FIFO order;
+//   - sends are buffered (they never block waiting for a matching receive),
+//     which corresponds to MPI_Bsend and is how the coupler and halo code in
+//     the original models are written;
+//   - collectives synchronize all ranks of the communicator.
+//
+// The runtime is deliberately simple: it exists so that the coupler,
+// rearranger, halo-exchange, and I/O-aggregation code in this repository is
+// structured exactly like the MPI code in the paper's models, and so the
+// communication-pattern experiments (alltoall vs nonblocking point-to-point,
+// §5.2.4) measure real message traffic.
+package par
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// AnyTag matches any message tag in Recv.
+const AnyTag = -1
+
+// AnySource matches any source rank in Recv.
+const AnySource = -1
+
+type message struct {
+	src  int
+	tag  int
+	data any
+}
+
+// mailbox holds undelivered messages for one rank of one communicator.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+func (mb *mailbox) put(m message) {
+	mb.mu.Lock()
+	mb.queue = append(mb.queue, m)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// take removes and returns the first message matching (src, tag),
+// blocking until one arrives.
+func (mb *mailbox) take(src, tag int) message {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m
+			}
+		}
+		mb.cond.Wait()
+	}
+}
+
+// tryTake is the non-blocking variant of take; ok reports whether a matching
+// message was found.
+func (mb *mailbox) tryTake(src, tag int) (message, bool) {
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for i, m := range mb.queue {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+			return m, true
+		}
+	}
+	return message{}, false
+}
+
+// commState is the shared state of one communicator: mailboxes for every
+// member rank plus reusable synchronization structures for collectives.
+type commState struct {
+	size  int
+	boxes []*mailbox
+
+	// barrier
+	bmu   sync.Mutex
+	bcond *sync.Cond
+	bcnt  int
+	bgen  int
+
+	// shared scratch for collectives: one slot per rank, reset by generation.
+	smu   sync.Mutex
+	scond *sync.Cond
+	slots []any
+	sdone int
+	sgen  int
+
+	// communicator id, used to derive deterministic split ids.
+	id      string
+	splitMu sync.Mutex
+	splits  map[string]*commState
+	gathers map[string]*splitGather
+}
+
+func newCommState(size int, id string) *commState {
+	cs := &commState{
+		size:    size,
+		boxes:   make([]*mailbox, size),
+		slots:   make([]any, size),
+		id:      id,
+		splits:  make(map[string]*commState),
+		gathers: make(map[string]*splitGather),
+	}
+	for i := range cs.boxes {
+		cs.boxes[i] = newMailbox()
+	}
+	cs.bcond = sync.NewCond(&cs.bmu)
+	cs.scond = sync.NewCond(&cs.smu)
+	return cs
+}
+
+// Comm is one rank's handle onto a communicator.
+type Comm struct {
+	state *commState
+	rank  int
+}
+
+// Rank returns the calling rank within the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return c.state.size }
+
+// Run launches n ranks, each executing body with its world communicator, and
+// waits for all of them to finish. Panics in a rank are re-raised in the
+// caller so test failures surface.
+func Run(n int, body func(c *Comm)) {
+	if n <= 0 {
+		panic(fmt.Sprintf("par: Run with non-positive size %d", n))
+	}
+	cs := newCommState(n, "world")
+	var wg sync.WaitGroup
+	panics := make([]any, n)
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					panics[rank] = p
+				}
+			}()
+			body(&Comm{state: cs, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, p := range panics {
+		if p != nil {
+			panic(fmt.Sprintf("par: rank %d panicked: %v", r, p))
+		}
+	}
+}
+
+// Send delivers data to rank dst with the given tag. Sends are buffered and
+// never block. The payload is shared by reference, matching the zero-copy
+// behaviour of intra-node MPI; callers that reuse buffers must copy first,
+// exactly as with MPI_Isend ownership rules.
+func Send[T any](c *Comm, dst int, tag int, data T) {
+	if dst < 0 || dst >= c.state.size {
+		panic(fmt.Sprintf("par: Send to invalid rank %d (size %d)", dst, c.state.size))
+	}
+	c.state.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message from src with the given tag arrives and
+// returns its payload. src may be AnySource and tag may be AnyTag.
+func Recv[T any](c *Comm, src int, tag int) (T, Status) {
+	m := c.state.boxes[c.rank].take(src, tag)
+	v, ok := m.data.(T)
+	if !ok {
+		panic(fmt.Sprintf("par: Recv type mismatch from rank %d tag %d: got %T", m.src, m.tag, m.data))
+	}
+	return v, Status{Source: m.src, Tag: m.tag}
+}
+
+// Status describes a received message.
+type Status struct {
+	Source int
+	Tag    int
+}
+
+// Probe reports whether a message matching (src, tag) is waiting, without
+// consuming it.
+func (c *Comm) Probe(src, tag int) (Status, bool) {
+	mb := c.state.boxes[c.rank]
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for _, m := range mb.queue {
+		if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+			return Status{Source: m.src, Tag: m.tag}, true
+		}
+	}
+	return Status{}, false
+}
+
+// Barrier blocks until all ranks of the communicator have entered it.
+func (c *Comm) Barrier() {
+	cs := c.state
+	cs.bmu.Lock()
+	gen := cs.bgen
+	cs.bcnt++
+	if cs.bcnt == cs.size {
+		cs.bcnt = 0
+		cs.bgen++
+		cs.bcond.Broadcast()
+		cs.bmu.Unlock()
+		return
+	}
+	for gen == cs.bgen {
+		cs.bcond.Wait()
+	}
+	cs.bmu.Unlock()
+}
+
+// exchange places v in the calling rank's slot, waits for all ranks, and
+// returns a snapshot of every rank's contribution. It is the shared-memory
+// primitive under the collectives.
+func (c *Comm) exchange(v any) []any {
+	cs := c.state
+	cs.smu.Lock()
+	gen := cs.sgen
+	cs.slots[c.rank] = v
+	cs.sdone++
+	if cs.sdone == cs.size {
+		cs.sdone = 0
+		cs.sgen++
+		cs.scond.Broadcast()
+	} else {
+		for gen == cs.sgen {
+			cs.scond.Wait()
+		}
+	}
+	out := make([]any, cs.size)
+	copy(out, cs.slots)
+	cs.smu.Unlock()
+	c.Barrier() // ensure slots are not overwritten by a subsequent collective
+	return out
+}
+
+// splitGather coordinates a Split call across ranks.
+type splitGather struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	entries []splitEntry
+	done    int
+	ready   bool
+	result  map[int]*commState  // color -> state
+	ranks   map[int]map[int]int // color -> old rank -> new rank
+}
+
+type splitEntry struct {
+	rank  int
+	color int
+	key   int
+}
+
+// Split partitions the communicator by color; within a color, ranks are
+// ordered by key (ties broken by old rank), mirroring MPI_Comm_split.
+// Ranks passing a negative color receive a nil communicator.
+func (c *Comm) Split(color, key int) *Comm {
+	cs := c.state
+	gid := fmt.Sprintf("split-%d", key) // key participates only in ordering
+	_ = gid
+	cs.splitMu.Lock()
+	g, ok := cs.gathers["split"]
+	if !ok {
+		g = &splitGather{}
+		g.cond = sync.NewCond(&g.mu)
+		cs.gathers["split"] = g
+	}
+	cs.splitMu.Unlock()
+
+	g.mu.Lock()
+	g.entries = append(g.entries, splitEntry{rank: c.rank, color: color, key: key})
+	g.done++
+	if g.done == cs.size {
+		// Last rank in: build all the sub-communicators.
+		byColor := make(map[int][]splitEntry)
+		for _, e := range g.entries {
+			if e.color >= 0 {
+				byColor[e.color] = append(byColor[e.color], e)
+			}
+		}
+		g.result = make(map[int]*commState)
+		g.ranks = make(map[int]map[int]int)
+		for color, es := range byColor {
+			sort.Slice(es, func(i, j int) bool {
+				if es[i].key != es[j].key {
+					return es[i].key < es[j].key
+				}
+				return es[i].rank < es[j].rank
+			})
+			st := newCommState(len(es), fmt.Sprintf("%s/split%d", cs.id, color))
+			g.result[color] = st
+			m := make(map[int]int, len(es))
+			for newRank, e := range es {
+				m[e.rank] = newRank
+			}
+			g.ranks[color] = m
+		}
+		g.ready = true
+		g.cond.Broadcast()
+	} else {
+		for !g.ready {
+			g.cond.Wait()
+		}
+	}
+	var out *Comm
+	if color >= 0 {
+		out = &Comm{state: g.result[color], rank: g.ranks[color][c.rank]}
+	}
+	g.done--
+	if g.done == 0 {
+		// Reset for the next Split on this communicator.
+		g.entries = nil
+		g.ready = false
+		g.result = nil
+		g.ranks = nil
+	}
+	g.mu.Unlock()
+	c.Barrier()
+	return out
+}

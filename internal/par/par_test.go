@@ -1,0 +1,522 @@
+package par
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRunLaunchesAllRanks(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	Run(7, func(c *Comm) {
+		mu.Lock()
+		seen[c.Rank()] = true
+		mu.Unlock()
+		if c.Size() != 7 {
+			t.Errorf("size = %d, want 7", c.Size())
+		}
+	})
+	if len(seen) != 7 {
+		t.Fatalf("saw %d ranks, want 7", len(seen))
+	}
+}
+
+func TestSendRecvRoundTrip(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 42, []float64{1, 2, 3})
+		} else {
+			v, st := Recv[[]float64](c, 0, 42)
+			if st.Source != 0 || st.Tag != 42 {
+				t.Errorf("status = %+v", st)
+			}
+			if !reflect.DeepEqual(v, []float64{1, 2, 3}) {
+				t.Errorf("payload = %v", v)
+			}
+		}
+	})
+}
+
+func TestFIFOOrderingPerPair(t *testing.T) {
+	const n = 100
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < n; i++ {
+				Send(c, 1, 7, i)
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				v, _ := Recv[int](c, 0, 7)
+				if v != i {
+					t.Errorf("message %d arrived out of order: got %d", i, v)
+				}
+			}
+		}
+	})
+}
+
+func TestTagSelectivity(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 1, "first")
+			Send(c, 1, 2, "second")
+		} else {
+			// Receive in reverse tag order: tags must select, not FIFO.
+			v2, _ := Recv[string](c, 0, 2)
+			v1, _ := Recv[string](c, 0, 1)
+			if v1 != "first" || v2 != "second" {
+				t.Errorf("got %q, %q", v1, v2)
+			}
+		}
+	})
+}
+
+func TestAnySourceAnyTag(t *testing.T) {
+	Run(4, func(c *Comm) {
+		if c.Rank() != 0 {
+			Send(c, 0, c.Rank(), c.Rank()*10)
+		} else {
+			got := map[int]int{}
+			for i := 0; i < 3; i++ {
+				v, st := Recv[int](c, AnySource, AnyTag)
+				got[st.Source] = v
+			}
+			for r := 1; r < 4; r++ {
+				if got[r] != r*10 {
+					t.Errorf("from rank %d got %d, want %d", r, got[r], r*10)
+				}
+			}
+		}
+	})
+}
+
+func TestProbe(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			Send(c, 1, 5, 99)
+			Send(c, 1, 6, 0) // release message
+		} else {
+			// Wait until something with tag 5 is queued.
+			for {
+				if st, ok := c.Probe(0, 5); ok {
+					if st.Tag != 5 {
+						t.Errorf("probe tag = %d", st.Tag)
+					}
+					break
+				}
+			}
+			v, _ := Recv[int](c, 0, 5)
+			if v != 99 {
+				t.Errorf("got %d", v)
+			}
+			Recv[int](c, 0, 6)
+		}
+	})
+}
+
+func TestBarrierReusable(t *testing.T) {
+	const rounds = 50
+	var counter int64
+	var mu sync.Mutex
+	Run(8, func(c *Comm) {
+		for i := 0; i < rounds; i++ {
+			mu.Lock()
+			counter++
+			mu.Unlock()
+			c.Barrier()
+			mu.Lock()
+			v := counter
+			mu.Unlock()
+			if v < int64((i+1)*8) {
+				t.Errorf("barrier round %d: counter %d < %d", i, v, (i+1)*8)
+			}
+			c.Barrier()
+		}
+	})
+}
+
+func TestBcast(t *testing.T) {
+	Run(5, func(c *Comm) {
+		v := -1
+		if c.Rank() == 2 {
+			v = 1234
+		}
+		got := Bcast(c, 2, v)
+		if got != 1234 {
+			t.Errorf("rank %d got %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllreduce(t *testing.T) {
+	Run(6, func(c *Comm) {
+		sum := c.Allreduce(float64(c.Rank()+1), OpSum)
+		if sum != 21 {
+			t.Errorf("sum = %v, want 21", sum)
+		}
+		max := c.Allreduce(float64(c.Rank()), OpMax)
+		if max != 5 {
+			t.Errorf("max = %v, want 5", max)
+		}
+		min := c.Allreduce(float64(c.Rank()), OpMin)
+		if min != 0 {
+			t.Errorf("min = %v, want 0", min)
+		}
+	})
+}
+
+func TestAllreduceSlice(t *testing.T) {
+	Run(4, func(c *Comm) {
+		v := []float64{float64(c.Rank()), 1}
+		got := c.AllreduceSlice(v, OpSum)
+		if got[0] != 6 || got[1] != 4 {
+			t.Errorf("got %v", got)
+		}
+		// Input must be unmodified.
+		if v[0] != float64(c.Rank()) {
+			t.Errorf("input mutated: %v", v)
+		}
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	Run(4, func(c *Comm) {
+		g := Gather(c, 0, c.Rank()*c.Rank())
+		if c.Rank() == 0 {
+			if !reflect.DeepEqual(g, []int{0, 1, 4, 9}) {
+				t.Errorf("gather = %v", g)
+			}
+		} else if g != nil {
+			t.Errorf("non-root gather = %v", g)
+		}
+		var vals []int
+		if c.Rank() == 1 {
+			vals = []int{10, 11, 12, 13}
+		}
+		got := Scatter(c, 1, vals)
+		if got != 10+c.Rank() {
+			t.Errorf("scatter rank %d got %d", c.Rank(), got)
+		}
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	Run(3, func(c *Comm) {
+		got := Allgather(c, c.Rank()+100)
+		if !reflect.DeepEqual(got, []int{100, 101, 102}) {
+			t.Errorf("got %v", got)
+		}
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	Run(3, func(c *Comm) {
+		send := make([]int, 3)
+		for d := range send {
+			send[d] = c.Rank()*10 + d
+		}
+		got := Alltoall(c, send)
+		for s, v := range got {
+			if v != s*10+c.Rank() {
+				t.Errorf("from %d got %d, want %d", s, v, s*10+c.Rank())
+			}
+		}
+	})
+}
+
+func TestAlltoallvF64(t *testing.T) {
+	Run(4, func(c *Comm) {
+		send := make([][]float64, 4)
+		for d := range send {
+			// Variable lengths: rank r sends d+1 values to rank d.
+			blk := make([]float64, d+1)
+			for i := range blk {
+				blk[i] = float64(c.Rank()*100 + d*10 + i)
+			}
+			send[d] = blk
+		}
+		got := c.AlltoallvF64(send)
+		for s, blk := range got {
+			if len(blk) != c.Rank()+1 {
+				t.Fatalf("from %d got len %d, want %d", s, len(blk), c.Rank()+1)
+			}
+			for i, v := range blk {
+				want := float64(s*100 + c.Rank()*10 + i)
+				if v != want {
+					t.Errorf("from %d [%d] = %v, want %v", s, i, v, want)
+				}
+			}
+		}
+	})
+}
+
+func TestExclusiveScanInt(t *testing.T) {
+	Run(5, func(c *Comm) {
+		got := c.ExclusiveScanInt(c.Rank() + 1)
+		want := 0
+		for r := 0; r < c.Rank(); r++ {
+			want += r + 1
+		}
+		if got != want {
+			t.Errorf("rank %d scan = %d, want %d", c.Rank(), got, want)
+		}
+	})
+}
+
+func TestIsendIrecvWaitall(t *testing.T) {
+	Run(4, func(c *Comm) {
+		n := c.Size()
+		reqs := make([]*Request, 0, 2*n)
+		recvs := make([]*Request, n)
+		for d := 0; d < n; d++ {
+			if d == c.Rank() {
+				continue
+			}
+			reqs = append(reqs, Isend(c, d, 3, []float64{float64(c.Rank())}))
+			r := Irecv[[]float64](c, d, 3)
+			recvs[d] = r
+			reqs = append(reqs, r)
+		}
+		WaitAll(reqs)
+		for d := 0; d < n; d++ {
+			if d == c.Rank() {
+				continue
+			}
+			v := recvs[d].Data().([]float64)
+			if v[0] != float64(d) {
+				t.Errorf("from %d got %v", d, v)
+			}
+		}
+	})
+}
+
+func TestRequestTest(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			r := Irecv[int](c, 1, 9)
+			// Eventually completes after rank 1 sends.
+			for !r.Test() {
+			}
+			if r.Data().(int) != 77 {
+				t.Errorf("got %v", r.Data())
+			}
+		} else {
+			Send(c, 0, 9, 77)
+		}
+	})
+}
+
+func TestSplitByParity(t *testing.T) {
+	Run(6, func(c *Comm) {
+		sub := c.Split(c.Rank()%2, c.Rank())
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+		if sub.Rank() != c.Rank()/2 {
+			t.Errorf("rank %d -> sub rank %d, want %d", c.Rank(), sub.Rank(), c.Rank()/2)
+		}
+		// The sub-communicator must be functional and isolated.
+		sum := sub.Allreduce(1, OpSum)
+		if sum != 3 {
+			t.Errorf("sub allreduce = %v", sum)
+		}
+	})
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	Run(4, func(c *Comm) {
+		// Reverse ordering by key: old rank 3 becomes new rank 0.
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != 3-c.Rank() {
+			t.Errorf("old %d new %d, want %d", c.Rank(), sub.Rank(), 3-c.Rank())
+		}
+	})
+}
+
+func TestSplitNegativeColorExcluded(t *testing.T) {
+	Run(4, func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, c.Rank())
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("excluded rank got a communicator")
+			}
+			return
+		}
+		if sub.Size() != 3 {
+			t.Errorf("sub size = %d", sub.Size())
+		}
+	})
+}
+
+func TestSplitRepeatedly(t *testing.T) {
+	Run(4, func(c *Comm) {
+		for i := 0; i < 10; i++ {
+			sub := c.Split(c.Rank()/2, c.Rank())
+			if sub.Size() != 2 {
+				t.Fatalf("round %d: size %d", i, sub.Size())
+			}
+		}
+	})
+}
+
+func TestCartTopology(t *testing.T) {
+	Run(6, func(c *Comm) {
+		ct := NewCart(c, 3, 2, true, false)
+		if ct.CX != c.Rank()%3 || ct.CY != c.Rank()/3 {
+			t.Errorf("coords (%d,%d)", ct.CX, ct.CY)
+		}
+		w, e, s, n := ct.Neighbors()
+		// Periodic in x:
+		if w != ct.CY*3+(ct.CX+2)%3 || e != ct.CY*3+(ct.CX+1)%3 {
+			t.Errorf("w,e = %d,%d", w, e)
+		}
+		// Non-periodic in y:
+		if ct.CY == 0 && s != -1 {
+			t.Errorf("south = %d at bottom row", s)
+		}
+		if ct.CY == 1 && n != -1 {
+			t.Errorf("north = %d at top row", n)
+		}
+	})
+}
+
+func TestCartShift(t *testing.T) {
+	Run(4, func(c *Comm) {
+		ct := NewCart(c, 4, 1, true, false)
+		src, dst := ct.Shift(0, 1)
+		if src != (c.Rank()+3)%4 || dst != (c.Rank()+1)%4 {
+			t.Errorf("shift = %d,%d", src, dst)
+		}
+	})
+}
+
+func TestGraphNeighborExchange(t *testing.T) {
+	// Ring of 4 with symmetric neighbour lists.
+	Run(4, func(c *Comm) {
+		left := (c.Rank() + 3) % 4
+		right := (c.Rank() + 1) % 4
+		g := NewGraph(c, []int{left, right})
+		send := [][]float64{{float64(c.Rank())}, {float64(c.Rank())}}
+		got := g.NeighborAlltoallF64(11, send)
+		if got[0][0] != float64(left) || got[1][0] != float64(right) {
+			t.Errorf("got %v", got)
+		}
+	})
+}
+
+func TestGraphRejectsSelf(t *testing.T) {
+	Run(2, func(c *Comm) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for self neighbour")
+			}
+		}()
+		NewGraph(c, []int{c.Rank()})
+	})
+}
+
+// Property: Alltoall is a transpose — applying it twice with the values
+// tagged by (src,dst) recovers the original layout.
+func TestAlltoallTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		orig := make([][]int, n)
+		ok := true
+		Run(n, func(c *Comm) {
+			send := make([]int, n)
+			for d := range send {
+				send[d] = int(seed%1000)*100 + c.Rank()*10 + d
+			}
+			if c.Rank() == 0 {
+				// record is only to keep the compiler honest about orig
+				orig[0] = send
+			}
+			recv := Alltoall(c, send)
+			back := Alltoall(c, recv)
+			if !reflect.DeepEqual(back, send) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: allreduce(sum) equals the serial sum for random contributions.
+func TestAllreduceMatchesSerialSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		vals := make([]float64, n)
+		var want float64
+		for i := range vals {
+			vals[i] = float64(rng.Intn(1000)) // integers: exact fp sum
+			want += vals[i]
+		}
+		ok := true
+		Run(n, func(c *Comm) {
+			got := c.Allreduce(vals[c.Rank()], OpSum)
+			if got != want {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRankPanicPropagates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("panic in a rank did not propagate")
+		}
+	}()
+	Run(3, func(c *Comm) {
+		if c.Rank() == 1 {
+			panic("boom")
+		}
+	})
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			Send(c, 5, 0, 1)
+		}
+	})
+}
+
+func sortedCopy(v []int) []int {
+	out := append([]int(nil), v...)
+	sort.Ints(out)
+	return out
+}
+
+func TestGraphDedupesNeighbors(t *testing.T) {
+	Run(3, func(c *Comm) {
+		other := (c.Rank() + 1) % 3
+		g := NewGraph(c, []int{other, other})
+		if len(g.Neighbors) != 1 {
+			t.Errorf("neighbours = %v", g.Neighbors)
+		}
+		_ = sortedCopy(g.Neighbors)
+	})
+}

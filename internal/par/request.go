@@ -1,0 +1,62 @@
+package par
+
+// Request represents an in-flight nonblocking operation.
+type Request struct {
+	done   chan struct{}
+	data   any
+	status Status
+}
+
+// Isend starts a nonblocking send. Because sends are buffered, the request
+// completes immediately; it exists so ported code keeps the
+// Isend/Irecv/Waitall structure of the original MPI implementation.
+func Isend[T any](c *Comm, dst int, tag int, data T) *Request {
+	Send(c, dst, tag, data)
+	r := &Request{done: make(chan struct{})}
+	close(r.done)
+	return r
+}
+
+// Irecv starts a nonblocking receive from src with the given tag. The
+// payload becomes available through Wait.
+func Irecv[T any](c *Comm, src int, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		v, st := Recv[T](c, src, tag)
+		r.data = v
+		r.status = st
+		close(r.done)
+	}()
+	return r
+}
+
+// Wait blocks until the request completes and returns its status.
+func (r *Request) Wait() Status {
+	<-r.done
+	return r.status
+}
+
+// Test reports whether the request has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Data returns the received payload after Wait; nil for sends.
+func (r *Request) Data() any {
+	<-r.done
+	return r.data
+}
+
+// WaitAll blocks until every request completes.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

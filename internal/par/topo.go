@@ -1,0 +1,115 @@
+package par
+
+import "fmt"
+
+// Cart is a 2-D cartesian process topology over a communicator, the
+// decomposition used by the ocean, sea-ice, and I/O components.
+type Cart struct {
+	Comm     *Comm
+	NX, NY   int  // process grid extents
+	PX, PY   bool // periodicity in x (longitude) and y (latitude)
+	CX, CY   int  // this rank's coordinates
+	rowMajor bool
+}
+
+// NewCart maps the communicator's ranks onto an nx × ny grid in row-major
+// order (rank = cy*nx + cx). nx*ny must equal the communicator size.
+func NewCart(c *Comm, nx, ny int, periodicX, periodicY bool) *Cart {
+	if nx*ny != c.Size() {
+		panic(fmt.Sprintf("par: cart %dx%d does not match communicator size %d", nx, ny, c.Size()))
+	}
+	return &Cart{
+		Comm: c, NX: nx, NY: ny,
+		PX: periodicX, PY: periodicY,
+		CX: c.Rank() % nx, CY: c.Rank() / nx,
+		rowMajor: true,
+	}
+}
+
+// RankAt returns the rank at grid coordinates (cx, cy), applying periodic
+// wrap where enabled. It returns -1 for off-grid coordinates in
+// non-periodic directions (no neighbour).
+func (ct *Cart) RankAt(cx, cy int) int {
+	if ct.PX {
+		cx = ((cx % ct.NX) + ct.NX) % ct.NX
+	} else if cx < 0 || cx >= ct.NX {
+		return -1
+	}
+	if ct.PY {
+		cy = ((cy % ct.NY) + ct.NY) % ct.NY
+	} else if cy < 0 || cy >= ct.NY {
+		return -1
+	}
+	return cy*ct.NX + cx
+}
+
+// Shift returns the (source, destination) ranks for a displacement along a
+// dimension, following MPI_Cart_shift. dim 0 is x, dim 1 is y.
+func (ct *Cart) Shift(dim, disp int) (src, dst int) {
+	switch dim {
+	case 0:
+		return ct.RankAt(ct.CX-disp, ct.CY), ct.RankAt(ct.CX+disp, ct.CY)
+	case 1:
+		return ct.RankAt(ct.CX, ct.CY-disp), ct.RankAt(ct.CX, ct.CY+disp)
+	default:
+		panic(fmt.Sprintf("par: cart shift on invalid dim %d", dim))
+	}
+}
+
+// Neighbors returns the four edge-neighbour ranks (west, east, south, north),
+// with -1 for missing neighbours at non-periodic boundaries.
+func (ct *Cart) Neighbors() (w, e, s, n int) {
+	w = ct.RankAt(ct.CX-1, ct.CY)
+	e = ct.RankAt(ct.CX+1, ct.CY)
+	s = ct.RankAt(ct.CX, ct.CY-1)
+	n = ct.RankAt(ct.CX, ct.CY+1)
+	return
+}
+
+// Graph is an arbitrary neighbour topology, used by the compacted ocean
+// decomposition (§5.2.2) where removing land points produces an irregular
+// communication graph.
+type Graph struct {
+	Comm      *Comm
+	Neighbors []int // ranks this rank exchanges halos with, sorted ascending
+}
+
+// NewGraph validates and wraps a neighbour list. Duplicate and self entries
+// are rejected; the list is defensively copied.
+func NewGraph(c *Comm, neighbors []int) *Graph {
+	seen := make(map[int]bool, len(neighbors))
+	out := make([]int, 0, len(neighbors))
+	for _, n := range neighbors {
+		if n == c.Rank() {
+			panic("par: graph topology may not include self")
+		}
+		if n < 0 || n >= c.Size() {
+			panic(fmt.Sprintf("par: graph neighbour %d out of range", n))
+		}
+		if seen[n] {
+			continue
+		}
+		seen[n] = true
+		out = append(out, n)
+	}
+	return &Graph{Comm: c, Neighbors: out}
+}
+
+// NeighborAlltoallF64 exchanges one float64 block with each neighbour:
+// send[i] goes to Neighbors[i]; the result holds the block received from
+// Neighbors[i] at index i. All ranks must agree on the symmetric neighbour
+// relation (if a lists b, b must list a).
+func (g *Graph) NeighborAlltoallF64(tag int, send [][]float64) [][]float64 {
+	if len(send) != len(g.Neighbors) {
+		panic(fmt.Sprintf("par: neighbour exchange needs %d blocks, got %d", len(g.Neighbors), len(send)))
+	}
+	for i, n := range g.Neighbors {
+		Send(g.Comm, n, tag, send[i])
+	}
+	out := make([][]float64, len(g.Neighbors))
+	for i, n := range g.Neighbors {
+		v, _ := Recv[[]float64](g.Comm, n, tag)
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,202 @@
+package pario
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+// makeFields builds each rank's contiguous chunk of nGlobal elements for
+// two variables with deterministic values.
+func makeFields(c *par.Comm, nGlobal int) []Field {
+	per := nGlobal / c.Size()
+	start := c.Rank() * per
+	n := per
+	if c.Rank() == c.Size()-1 {
+		n = nGlobal - start
+	}
+	mk := func(name string, scale float64) Field {
+		d := make([]float64, n)
+		for i := range d {
+			d[i] = scale * float64(start+i)
+		}
+		return Field{Name: name, Global: nGlobal, Start: start, Data: d}
+	}
+	return []Field{mk("temp", 1), mk("salt", 0.25)}
+}
+
+func checkGlobal(t *testing.T, got map[string][]float64, nGlobal int) {
+	t.Helper()
+	for name, scale := range map[string]float64{"temp": 1, "salt": 0.25} {
+		f, ok := got[name]
+		if !ok || len(f) != nGlobal {
+			t.Fatalf("field %s missing or wrong size", name)
+		}
+		for i, v := range f {
+			if v != scale*float64(i) {
+				t.Fatalf("%s[%d] = %v, want %v", name, i, v, scale*float64(i))
+			}
+		}
+	}
+}
+
+func TestSingleFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "restart.bin")
+	const nGlobal = 237
+	par.Run(5, func(c *par.Comm) {
+		if err := WriteSingle(c, path, makeFields(c, nGlobal)); err != nil {
+			t.Error(err)
+		}
+	})
+	got, err := ReadGlobal([]string{path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGlobal(t, got, nGlobal)
+}
+
+func TestSubfileRoundTrip(t *testing.T) {
+	const nGlobal = 300
+	for _, groups := range []int{1, 2, 3, 6} {
+		dir := t.TempDir()
+		par.Run(6, func(c *par.Comm) {
+			if err := WriteSubfiles(c, dir, groups, makeFields(c, nGlobal)); err != nil {
+				t.Error(err)
+			}
+		})
+		got, err := ReadGlobal(SubfilePaths(dir, groups))
+		if err != nil {
+			t.Fatalf("groups=%d: %v", groups, err)
+		}
+		checkGlobal(t, got, nGlobal)
+	}
+}
+
+func TestSingleAndSubfileBitIdentical(t *testing.T) {
+	const nGlobal = 144
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.bin")
+	par.Run(4, func(c *par.Comm) {
+		fields := makeFields(c, nGlobal)
+		if err := WriteSingle(c, single, fields); err != nil {
+			t.Error(err)
+		}
+		if err := WriteSubfiles(c, dir, 2, fields); err != nil {
+			t.Error(err)
+		}
+	})
+	a, err := ReadGlobal([]string{single})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReadGlobal(SubfilePaths(dir, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name := range a {
+		for i := range a[name] {
+			if a[name][i] != b[name][i] {
+				t.Fatalf("%s[%d] differs between layouts", name, i)
+			}
+		}
+	}
+}
+
+func TestSubfileGroupValidation(t *testing.T) {
+	par.Run(2, func(c *par.Comm) {
+		if err := WriteSubfiles(c, t.TempDir(), 0, nil); err == nil && c.Rank() == 0 {
+			t.Error("0 groups accepted")
+		}
+	})
+}
+
+func TestReadErrors(t *testing.T) {
+	if _, err := ReadGlobal(nil); err == nil {
+		t.Error("empty path list accepted")
+	}
+	if _, err := ReadGlobal([]string{"/nonexistent/file.bin"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	// Garbage file.
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.bin")
+	os.WriteFile(bad, []byte("not a restart"), 0o644)
+	if _, err := ReadGlobal([]string{bad}); err == nil {
+		t.Error("garbage file accepted")
+	}
+}
+
+func TestMissingChunkDetected(t *testing.T) {
+	// Write only part 0 of a 2-subfile set and try to read it alone.
+	dir := t.TempDir()
+	par.Run(4, func(c *par.Comm) {
+		if err := WriteSubfiles(c, dir, 2, makeFields(c, 100)); err != nil {
+			t.Error(err)
+		}
+	})
+	if _, err := ReadGlobal([]string{filepath.Join(dir, "part-0.bin")}); err == nil {
+		t.Error("incomplete field accepted")
+	}
+}
+
+func TestDuplicateChunkDetected(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.bin")
+	par.Run(1, func(c *par.Comm) {
+		WriteSingle(c, path, []Field{{Name: "x", Global: 4, Start: 0, Data: []float64{1, 2, 3, 4}}})
+	})
+	// Reading the same file twice duplicates every element.
+	if _, err := ReadGlobal([]string{path, path}); err == nil {
+		t.Error("duplicate chunks accepted")
+	}
+}
+
+// Property: random rank counts, group counts, and sizes always round-trip.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(6)
+		groups := 1 + rng.Intn(ranks)
+		nGlobal := ranks * (1 + rng.Intn(40))
+		vals := make([]float64, nGlobal)
+		for i := range vals {
+			vals[i] = rng.NormFloat64()
+		}
+		dir := t.TempDir()
+		ok := true
+		par.Run(ranks, func(c *par.Comm) {
+			per := nGlobal / ranks
+			start := c.Rank() * per
+			n := per
+			if c.Rank() == ranks-1 {
+				n = nGlobal - start
+			}
+			fl := Field{Name: "v", Global: nGlobal, Start: start,
+				Data: append([]float64(nil), vals[start:start+n]...)}
+			if err := WriteSubfiles(c, dir, groups, []Field{fl}); err != nil {
+				ok = false
+			}
+		})
+		if !ok {
+			return false
+		}
+		got, err := ReadGlobal(SubfilePaths(dir, groups))
+		if err != nil {
+			return false
+		}
+		for i, v := range got["v"] {
+			if v != vals[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

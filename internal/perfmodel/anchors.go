@@ -1,0 +1,347 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/grid"
+	"repro/internal/machine"
+)
+
+// atmPoints3D returns the 3-D grid-point count of the GRIST configuration
+// at the given nominal resolution (cells × 30 levels).
+func atmPoints3D(resKm int) float64 {
+	lvl, ok := grid.GristLevelForRes[resKm]
+	if !ok {
+		panic(fmt.Sprintf("perfmodel: no GRIST level for %d km", resKm))
+	}
+	cells, _, _ := grid.IcosCounts(lvl)
+	return float64(cells) * 30
+}
+
+// ocnPoints3D returns the 3-D grid-point count of the LICOM configuration.
+func ocnPoints3D(resKm int) float64 {
+	c, err := grid.LICOMConfigForRes(resKm)
+	if err != nil {
+		panic(err)
+	}
+	return float64(c.NLon) * float64(c.NLat) * float64(c.NLevel)
+}
+
+// Model holds every calibrated curve, keyed by ID.
+type Model struct {
+	Sunway *machine.Machine
+	ORISE  *machine.Machine
+	curves map[string]*Curve
+	order  []string
+}
+
+// Curve IDs. The anchor values below are the measurements reported in
+// §7.2 and Table 2 of the paper.
+const (
+	CurveATM3MPE  = "sunway/atm3km/mpe"
+	CurveATM3CPE  = "sunway/atm3km/cpe+opt"
+	CurveATM1CPE  = "sunway/atm1km/cpe+opt"
+	CurveOCN2MPE  = "sunway/ocn2km/mpe"
+	CurveOCN2CPE  = "sunway/ocn2km/cpe+opt"
+	CurveOCN1Orig = "orise/ocn1km/original"
+	CurveOCN1OPT  = "orise/ocn1km/opt"
+	CurveESM3v2   = "sunway/esm3v2/cpe+opt"
+	CurveESM1v1   = "sunway/esm1v1/cpe+opt"
+)
+
+// NewModel constructs and calibrates the full curve set. The two
+// CPE-accelerated component families additionally receive a collective-term
+// calibration against the paper's weak-scaling endpoint efficiencies
+// (Fig 8b: 87.85 % for the atmosphere, 96.57 % for the ocean).
+func NewModel() (*Model, error) {
+	m := &Model{
+		Sunway: machine.SunwayOceanLight(),
+		ORISE:  machine.ORISE(),
+		curves: make(map[string]*Curve),
+	}
+
+	add := func(c *Curve) { m.curves[c.ID] = c; m.order = append(m.order, c.ID) }
+
+	add(&Curve{
+		ID: CurveATM3MPE, Label: "3 km ATM, MPE only",
+		Machine: m.Sunway, Component: "ATM", Variant: "MPE",
+		ResKm: 3, Points: atmPoints3D(3), Unit: "cores",
+		Anchors: []Anchor{
+			{32768, 0.0032}, {262144, 0.0063},
+		},
+	})
+	add(&Curve{
+		ID: CurveATM3CPE, Label: "3 km ATM, CPE + optimizations",
+		Machine: m.Sunway, Component: "ATM", Variant: "CPE+OPT",
+		ResKm: 3, Points: atmPoints3D(3), Unit: "cores",
+		// §7.2 text: 0.36 → 1.16 SYPD from 2.13M to 17.04M cores (40.3 %
+		// efficiency). The print table's intermediate values for this block
+		// are inconsistent with its own endpoints and are omitted.
+		Anchors: []Anchor{
+			{2129920, 0.36}, {17039360, 1.16},
+		},
+	})
+	add(&Curve{
+		ID: CurveATM1CPE, Label: "1 km ATM, CPE + optimizations",
+		Machine: m.Sunway, Component: "ATM", Variant: "CPE+OPT",
+		ResKm: 1, Points: atmPoints3D(1), Unit: "cores",
+		Anchors: []Anchor{
+			{4259840, 0.20}, {34078270, 0.85},
+		},
+	})
+	add(&Curve{
+		ID: CurveOCN2MPE, Label: "2 km OCN, MPE only",
+		Machine: m.Sunway, Component: "OCN", Variant: "MPE",
+		ResKm: 2, Points: ocnPoints3D(2), Unit: "cores",
+		Superlinear: true,
+		Anchors: []Anchor{
+			{19608, 0.0014}, {38550, 0.0033}, {76026, 0.0060}, {300000, 0.019},
+		},
+	})
+	add(&Curve{
+		ID: CurveOCN2CPE, Label: "2 km OCN, CPE + optimizations",
+		Machine: m.Sunway, Component: "OCN", Variant: "CPE+OPT",
+		ResKm: 2, Points: ocnPoints3D(2), Unit: "cores",
+		Anchors: []Anchor{
+			{1273415, 0.21}, {2505880, 0.42}, {4941755, 0.72}, {19513780, 1.59},
+		},
+	})
+	add(&Curve{
+		ID: CurveOCN1Orig, Label: "1 km OCN, ORISE (2024 Gordon Bell finalist record)",
+		Machine: m.ORISE, Component: "OCN", Variant: "Original",
+		ResKm: 1, Points: ocnPoints3D(1), Unit: "GPUs",
+		Anchors: []Anchor{
+			{4000, 0.77}, {8000, 1.25}, {12000, 1.49},
+		},
+	})
+	add(&Curve{
+		ID: CurveOCN1OPT, Label: "1 km OCN, ORISE, this work",
+		Machine: m.ORISE, Component: "OCN", Variant: "OPT",
+		ResKm: 1, Points: ocnPoints3D(1), Unit: "GPUs",
+		Anchors: []Anchor{
+			{4060, 0.92}, {8060, 1.45}, {11927, 1.76}, {16085, 1.98},
+		},
+	})
+	add(&Curve{
+		ID: CurveESM3v2, Label: "AP3ESM 3v2 coupled",
+		Machine: m.Sunway, Component: "ESM", Variant: "CPE+OPT",
+		ResKm: 3, Points: atmPoints3D(3) + ocnPoints3D(2), Unit: "cores",
+		Anchors: []Anchor{
+			{3403335, 0.18}, {4259840, 0.20}, {8519680, 0.40},
+			{17039360, 0.71}, {36553140, 1.01},
+		},
+	})
+	add(&Curve{
+		ID: CurveESM1v1, Label: "AP3ESM 1v1 coupled",
+		Machine: m.Sunway, Component: "ESM", Variant: "CPE+OPT",
+		ResKm: 1, Points: atmPoints3D(1) + ocnPoints3D(1), Unit: "cores",
+		LogLog: true,
+		Anchors: []Anchor{
+			{8745360, 0.14}, {17359160, 0.23}, {37172980, 0.54},
+		},
+	})
+
+	for _, id := range m.order {
+		if err := m.curves[id].Calibrate(); err != nil {
+			return nil, err
+		}
+	}
+
+	// Joint weak-scaling calibration (§7.3): tune the collective term of the
+	// CPE component families so the family-scaled weak ladders end at the
+	// paper's reported efficiencies.
+	if err := m.calibrateWeak(CurveATM3CPE, ATMWeakLadder(), 0.8785); err != nil {
+		return nil, err
+	}
+	if err := m.calibrateWeak(CurveOCN2CPE, OCNWeakLadder(), 0.9657); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Curve returns the calibrated curve with the given ID.
+func (m *Model) Curve(id string) (*Curve, error) {
+	c, ok := m.curves[id]
+	if !ok {
+		return nil, fmt.Errorf("perfmodel: unknown curve %q", id)
+	}
+	return c, nil
+}
+
+// MustCurve is Curve that panics on unknown IDs.
+func (m *Model) MustCurve(id string) *Curve {
+	c, err := m.Curve(id)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// IDs returns all curve IDs in registration order.
+func (m *Model) IDs() []string { return append([]string(nil), m.order...) }
+
+// WeakRung is one configuration of a weak-scaling ladder (Fig 8b).
+type WeakRung struct {
+	ResKm  int
+	Nodes  int
+	Points float64
+}
+
+// ATMWeakLadder returns the atmosphere weak-scaling ladder of Fig 8b:
+// 25/10/6/3 km on 683/2731/10922/43691 nodes.
+func ATMWeakLadder() []WeakRung {
+	return []WeakRung{
+		{25, 683, atmPoints3D(25)},
+		{10, 2731, atmPoints3D(10)},
+		{6, 10922, atmPoints3D(6)},
+		{3, 43691, atmPoints3D(3)},
+	}
+}
+
+// OCNWeakLadder returns the ocean weak-scaling ladder of Fig 8b:
+// 10/5/3/2 km on 2107/8212/18225/50035 nodes.
+func OCNWeakLadder() []WeakRung {
+	return []WeakRung{
+		{10, 2107, ocnPoints3D(10)},
+		{5, 8212, ocnPoints3D(5)},
+		{3, 18225, ocnPoints3D(3)},
+		{2, 50035, ocnPoints3D(2)},
+	}
+}
+
+// weakEfficiency computes the end-to-end weak-scaling efficiency of a
+// ladder under the family scaling of curve c: per-core sustained throughput
+// (points simulated per core-second) of the last rung over the first.
+func (m *Model) weakEfficiency(c *Curve, ladder []WeakRung) float64 {
+	first := ladder[0]
+	last := ladder[len(ladder)-1]
+	thr := func(r WeakRung) float64 {
+		cv := c
+		if r.Points != c.Points {
+			cv = c.ScaledTo(fmt.Sprintf("%s@%dkm", c.ID, r.ResKm), float64(r.ResKm), r.Points)
+		}
+		cores := float64(c.Machine.CoresForNodes(r.Nodes))
+		return r.Points * cv.SYPD(cores) / cores
+	}
+	return thr(last) / thr(first)
+}
+
+// calibrateWeak bisects the collective coefficient of the named curve so
+// the ladder's final weak efficiency matches the target, re-fitting the
+// compute and halo terms to the strong anchors at each trial.
+func (m *Model) calibrateWeak(id string, ladder []WeakRung, target float64) error {
+	c := m.curves[id]
+	eval := func(gamma float64) (float64, error) {
+		if err := c.calibrateWithFixedColl(gamma); err != nil {
+			return 0, err
+		}
+		return m.weakEfficiency(c, ladder), nil
+	}
+	e0, err := eval(0)
+	if err != nil {
+		return err
+	}
+	if e0 <= target {
+		// Already at or below the target without any collective term:
+		// keep the plain fit (residual degradation comes from halo scaling).
+		return c.Calibrate()
+	}
+	// Find an upper bracket where efficiency falls below the target.
+	lo, hi := 0.0, 1e-6
+	for i := 0; i < 60; i++ {
+		e, err := eval(hi)
+		if err != nil {
+			hi = (lo + hi) / 2 // collective term too large for anchors
+			continue
+		}
+		if e < target {
+			break
+		}
+		lo, hi = hi, hi*2
+	}
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		e, err := eval(mid)
+		if err != nil || e < target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	_, err = eval(lo)
+	return err
+}
+
+// WeakPoint is one computed rung of a weak-scaling series.
+type WeakPoint struct {
+	ResKm      int
+	Nodes      int
+	Cores      int
+	SYPD       float64
+	Efficiency float64 // relative to the first rung
+}
+
+// WeakSeries evaluates a ladder under the family scaling of the given curve.
+func (m *Model) WeakSeries(id string, ladder []WeakRung) ([]WeakPoint, error) {
+	c, err := m.Curve(id)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]WeakPoint, len(ladder))
+	var thr0 float64
+	for i, r := range ladder {
+		cv := c
+		if r.Points != c.Points {
+			cv = c.ScaledTo(fmt.Sprintf("%s@%dkm", c.ID, r.ResKm), float64(r.ResKm), r.Points)
+		}
+		cores := float64(c.Machine.CoresForNodes(r.Nodes))
+		s := cv.SYPD(cores)
+		thr := r.Points * s / cores
+		if i == 0 {
+			thr0 = thr
+		}
+		out[i] = WeakPoint{
+			ResKm: r.ResKm, Nodes: r.Nodes, Cores: int(cores),
+			SYPD: s, Efficiency: thr / thr0,
+		}
+	}
+	return out, nil
+}
+
+// SpeedupRange returns the min and max CPE-over-MPE speedup across the node
+// range where both variants were measured, evaluated at equal node counts
+// (the paper reports 112–184× for the atmosphere and 84–150× for the ocean).
+func (m *Model) SpeedupRange(mpeID, cpeID string, mpeRanks1Core bool) (lo, hi float64, err error) {
+	mpe, err := m.Curve(mpeID)
+	if err != nil {
+		return 0, 0, err
+	}
+	cpe, err := m.Curve(cpeID)
+	if err != nil {
+		return 0, 0, err
+	}
+	// Node counts spanned by the MPE anchors. MPE-only runs use one core
+	// per rank, RanksPerNode ranks per node.
+	perNode := float64(mpe.Machine.RanksPerNode)
+	if !mpeRanks1Core {
+		perNode = float64(mpe.Machine.CoresPerNode)
+	}
+	nodesOf := func(a Anchor) float64 { return a.Res / perNode }
+	cpeCoresPerNode := float64(cpe.Machine.CoresPerNode)
+
+	lo, hi = math.Inf(1), math.Inf(-1)
+	nodes := []float64{nodesOf(mpe.Anchors[0]), nodesOf(mpe.Anchors[len(mpe.Anchors)-1])}
+	sort.Float64s(nodes)
+	for _, n := range nodes {
+		sp := cpe.SYPD(n*cpeCoresPerNode) / mpe.SYPD(n*perNode)
+		if sp < lo {
+			lo = sp
+		}
+		if sp > hi {
+			hi = sp
+		}
+	}
+	return lo, hi, nil
+}

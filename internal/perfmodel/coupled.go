@@ -1,0 +1,90 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// The coupled-model composition works directly in t = 1/SYPD space: a
+// component needing t_c wall-days per simulated year contributes additively
+// when components run sequentially in one task domain, and via max() when
+// they run concurrently in disjoint domains (§5.1.2, §7.2). The paper's
+// AP3ESM production layout is the two-domain concurrent one: domain 1 holds
+// the coupler + atmosphere + sea ice + land, domain 2 holds the ocean.
+
+// LayoutResult describes one evaluated task layout.
+type LayoutResult struct {
+	Layout       string  // "sequential" or "concurrent"
+	AtmFraction  float64 // share of cores given to the atmosphere domain
+	SYPD         float64
+	AtmTime      float64 // wall-days per simulated year in the atmosphere
+	OcnTime      float64
+	CouplerTime  float64
+	IdleFraction float64 // concurrent only: wasted time in the faster domain
+}
+
+// SequentialLayout runs both components on all cores, one after the other.
+func SequentialLayout(atm, ocn *Curve, cores, couplerTime float64) LayoutResult {
+	ta := 1 / atm.SYPD(cores)
+	to := 1 / ocn.SYPD(cores)
+	total := ta + to + couplerTime
+	return LayoutResult{
+		Layout: "sequential", AtmFraction: 1,
+		SYPD: 1 / total, AtmTime: ta, OcnTime: to, CouplerTime: couplerTime,
+	}
+}
+
+// ConcurrentLayout splits the cores into an atmosphere domain (fraction f)
+// and an ocean domain (1−f) running concurrently.
+func ConcurrentLayout(atm, ocn *Curve, cores, f, couplerTime float64) (LayoutResult, error) {
+	if f <= 0 || f >= 1 {
+		return LayoutResult{}, fmt.Errorf("perfmodel: atmosphere fraction %v out of (0,1)", f)
+	}
+	ta := 1 / atm.SYPD(cores*f)
+	to := 1 / ocn.SYPD(cores*(1-f))
+	slow := math.Max(ta, to)
+	total := slow + couplerTime
+	idle := 0.0
+	if slow > 0 {
+		idle = (slow - math.Min(ta, to)) / slow
+	}
+	return LayoutResult{
+		Layout: "concurrent", AtmFraction: f,
+		SYPD: 1 / total, AtmTime: ta, OcnTime: to, CouplerTime: couplerTime,
+		IdleFraction: idle,
+	}, nil
+}
+
+// OptimalSplit searches the atmosphere share that maximizes coupled SYPD in
+// the concurrent layout. The optimum balances the two domains (ta ≈ to),
+// which is the load-balancing argument of §5.1.2.
+func OptimalSplit(atm, ocn *Curve, cores, couplerTime float64) (LayoutResult, error) {
+	best := LayoutResult{SYPD: -1}
+	for f := 0.05; f <= 0.951; f += 0.005 {
+		r, err := ConcurrentLayout(atm, ocn, cores, f, couplerTime)
+		if err != nil {
+			return LayoutResult{}, err
+		}
+		if r.SYPD > best.SYPD {
+			best = r
+		}
+	}
+	return best, nil
+}
+
+// ImpliedCouplerTime back-solves the coupler/synchronization overhead that
+// reconciles the fitted coupled curve with the optimal concurrent
+// composition of its components at the given core count: fitted coupled
+// time minus the best-achievable max(atm, ocn) composition. Negative values
+// are clamped to zero (the composition already explains the coupled cost).
+func ImpliedCouplerTime(coupled, atm, ocn *Curve, cores float64) float64 {
+	best, err := OptimalSplit(atm, ocn, cores, 0)
+	if err != nil || best.SYPD <= 0 {
+		return 0
+	}
+	implied := 1/coupled.SYPD(cores) - 1/best.SYPD
+	if implied < 0 {
+		return 0
+	}
+	return implied
+}

@@ -1,0 +1,383 @@
+// Package perfmodel is the scaling simulator that regenerates the paper's
+// performance results (Table 2, Figures 2, 8a, 8b) without 37 million cores.
+//
+// Each measured configuration of the paper — a (machine, component, variant,
+// resolution) combination — is a Curve. A curve's wall-clock time per model
+// step is the physically-structured expression
+//
+//	t(P) = C_sup·P^-1.3 + C_comp·P^-1 + C_halo·P^-0.5 + C_coll·log2(P)
+//
+// whose terms are, respectively: the cache/working-set effect that makes
+// MPE-only runs superlinear at small scale, perfectly-divisible compute,
+// surface-to-volume halo exchange, and latency-bound collectives (the
+// barotropic solver reductions and coupler synchronization). The
+// coefficients are calibrated once against the anchor points published in
+// §7.2/Table 2 (see anchors.go); resolutions without published anchors are
+// obtained by family scaling: C_comp scales with the grid-point count,
+// C_halo with its square root, C_coll stays fixed.
+//
+// SYPD follows as dtStep/(365·86400·t) normalized so that the anchor units
+// cancel; the package works directly in t = 1/SYPD.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+)
+
+// Anchor is one published measurement: a resource count (Sunway cores or
+// ORISE GPUs) and the reported SYPD.
+type Anchor struct {
+	Res  float64 // cores or GPUs
+	SYPD float64
+}
+
+// Basis term indices.
+const (
+	bSuper = iota // P^-1.3: cache/working-set superlinearity
+	bComp         // P^-1: divisible compute
+	bHalo         // P^-0.5: halo surface term
+	bColl         // log2(P): collective latency chain
+	nBasis
+)
+
+func basisValue(term int, p float64) float64 {
+	switch term {
+	case bSuper:
+		return math.Pow(p, -1.3)
+	case bComp:
+		return 1 / p
+	case bHalo:
+		return 1 / math.Sqrt(p)
+	case bColl:
+		return math.Log2(p)
+	default:
+		panic(fmt.Sprintf("perfmodel: bad basis term %d", term))
+	}
+}
+
+// Curve is one calibrated scaling curve.
+type Curve struct {
+	ID        string
+	Label     string
+	Machine   *machine.Machine
+	Component string  // "ATM", "OCN", "ESM"
+	Variant   string  // "MPE", "CPE+OPT", "Original", "OPT"
+	ResKm     float64 // nominal resolution (atmosphere res for ESM curves)
+	Points    float64 // 3-D grid points of the configuration
+	Unit      string  // "cores" or "GPUs"
+
+	Anchors     []Anchor
+	Superlinear bool // admit the P^-1.3 term in the basis search
+	// LogLog selects piecewise log-log interpolation through the anchors
+	// instead of a basis fit. The 1v1 coupled curve uses it: its efficiency
+	// falls to 82.8 % and then rises to 110 % between segments because the
+	// largest run used a different component configuration (§7.2), a shape
+	// no fixed-exponent cost decomposition can produce.
+	LogLog bool
+
+	coef [nBasis]float64
+	fit  bool
+}
+
+// timeAt evaluates the model t = 1/SYPD at resource count p.
+func (c *Curve) timeAt(p float64) float64 {
+	if c.LogLog {
+		return 1 / c.logLogSYPD(p)
+	}
+	var t float64
+	for term := 0; term < nBasis; term++ {
+		if c.coef[term] != 0 {
+			t += c.coef[term] * basisValue(term, p)
+		}
+	}
+	return t
+}
+
+// logLogSYPD interpolates the anchors piecewise-linearly in log-log space,
+// extrapolating with the end segments' slopes.
+func (c *Curve) logLogSYPD(p float64) float64 {
+	a := c.Anchors
+	seg := 0
+	for seg < len(a)-2 && p > a[seg+1].Res {
+		seg++
+	}
+	x0, x1 := math.Log(a[seg].Res), math.Log(a[seg+1].Res)
+	y0, y1 := math.Log(a[seg].SYPD), math.Log(a[seg+1].SYPD)
+	f := (math.Log(p) - x0) / (x1 - x0)
+	return math.Exp(y0 + f*(y1-y0))
+}
+
+// SYPD returns the modelled simulated-years-per-day at the given resource
+// count (cores or GPUs, matching Unit).
+func (c *Curve) SYPD(res float64) float64 {
+	if !c.fit {
+		panic(fmt.Sprintf("perfmodel: curve %s not calibrated", c.ID))
+	}
+	t := c.timeAt(res)
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / t
+}
+
+// Efficiency returns the strong-scaling parallel efficiency between two
+// resource counts: (S1/S0)/(P1/P0).
+func (c *Curve) Efficiency(res0, res1 float64) float64 {
+	return (c.SYPD(res1) / c.SYPD(res0)) / (res1 / res0)
+}
+
+// Calibrate fits the curve's coefficients to its anchors by a non-negative
+// least-squares search over basis subsets: every non-empty subset of the
+// admitted terms with at most as many terms as anchors is fit, and the
+// subset with the smallest maximum relative anchor error wins. The subset
+// search matters because different regimes dominate different curves — the
+// MPE-only baselines are communication/latency bound (halo + collective
+// terms), the accelerated curves are compute bound with a halo tail.
+func (c *Curve) Calibrate() error {
+	if len(c.Anchors) < 2 {
+		return fmt.Errorf("perfmodel: curve %s has %d anchors, need >= 2", c.ID, len(c.Anchors))
+	}
+	if c.LogLog {
+		c.fit = true
+		return nil
+	}
+	allowed := []int{bComp, bHalo, bColl}
+	if c.Superlinear {
+		allowed = append([]int{bSuper}, allowed...)
+	}
+	coef, err := bestSubsetFit(c.Anchors, allowed, len(c.Anchors))
+	if err != nil {
+		return fmt.Errorf("perfmodel: curve %s: %w", c.ID, err)
+	}
+	c.coef = coef
+	c.fit = true
+	return nil
+}
+
+// bestSubsetFit returns the coefficient vector minimizing the maximum
+// relative anchor error over all feasible basis subsets.
+func bestSubsetFit(anchors []Anchor, allowed []int, maxTerms int) ([nBasis]float64, error) {
+	var best [nBasis]float64
+	bestErr := math.Inf(1)
+	n := len(allowed)
+	for mask := 1; mask < 1<<n; mask++ {
+		var terms []int
+		for j := 0; j < n; j++ {
+			if mask&(1<<j) != 0 {
+				terms = append(terms, allowed[j])
+			}
+		}
+		if len(terms) > maxTerms {
+			continue
+		}
+		coef, err := nnlsFit(anchors, terms)
+		if err != nil {
+			continue
+		}
+		e := maxRelError(anchors, coef)
+		if e < bestErr {
+			bestErr = e
+			best = coef
+		}
+	}
+	if math.IsInf(bestErr, 1) {
+		return best, fmt.Errorf("no feasible basis subset")
+	}
+	return best, nil
+}
+
+func maxRelError(anchors []Anchor, coef [nBasis]float64) float64 {
+	worst := 0.0
+	for _, a := range anchors {
+		var t float64
+		for term := 0; term < nBasis; term++ {
+			t += coef[term] * basisValue(term, a.Res)
+		}
+		if t <= 0 {
+			return math.Inf(1)
+		}
+		rel := math.Abs(1/t-a.SYPD) / a.SYPD
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// calibrateWithFixedColl fits the compute and halo terms with the collective
+// coefficient pinned to gamma. Used by the weak-scaling joint calibration.
+func (c *Curve) calibrateWithFixedColl(gamma float64) error {
+	adj := make([]Anchor, len(c.Anchors))
+	for i, a := range c.Anchors {
+		t := 1/a.SYPD - gamma*basisValue(bColl, a.Res)
+		if t <= 0 {
+			return fmt.Errorf("perfmodel: curve %s: collective term %g exceeds anchor time", c.ID, gamma)
+		}
+		adj[i] = Anchor{Res: a.Res, SYPD: 1 / t}
+	}
+	allowed := []int{bComp, bHalo}
+	if c.Superlinear {
+		allowed = append([]int{bSuper}, allowed...)
+	}
+	coef, err := bestSubsetFit(adj, allowed, len(adj))
+	if err != nil {
+		return err
+	}
+	coef[bColl] = gamma
+	c.coef = coef
+	c.fit = true
+	return nil
+}
+
+// nnlsFit solves min Σ ((Σ_j x_j·b_j(P_i) − t_i)/t_i)² over x ≥ 0 by the
+// simple active-set strategy: solve unconstrained; while any coefficient is
+// negative, drop the most negative term and re-solve.
+func nnlsFit(anchors []Anchor, terms []int) ([nBasis]float64, error) {
+	var out [nBasis]float64
+	active := append([]int(nil), terms...)
+	for len(active) > 0 {
+		x, err := lsqSolve(anchors, active)
+		if err != nil {
+			return out, err
+		}
+		worst, worstVal := -1, 0.0
+		for j, v := range x {
+			if v < worstVal {
+				worst, worstVal = j, v
+			}
+		}
+		if worst < 0 {
+			for j, term := range active {
+				out[term] = x[j]
+			}
+			return out, nil
+		}
+		active = append(active[:worst], active[worst+1:]...)
+	}
+	return out, fmt.Errorf("no non-negative fit possible")
+}
+
+// lsqSolve solves the weighted normal equations for the active terms.
+func lsqSolve(anchors []Anchor, terms []int) ([]float64, error) {
+	n := len(terms)
+	ata := make([][]float64, n)
+	atb := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	for _, a := range anchors {
+		t := 1 / a.SYPD
+		w := 1 / t // relative-error weighting
+		row := make([]float64, n)
+		for j, term := range terms {
+			row[j] = basisValue(term, a.Res) * w
+		}
+		rhs := t * w
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				ata[i][j] += row[i] * row[j]
+			}
+			atb[i] += row[i] * rhs
+		}
+	}
+	return gaussSolve(ata, atb)
+}
+
+// gaussSolve solves a small dense SPD-ish system with partial pivoting.
+func gaussSolve(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = append(append([]float64(nil), a[i]...), b[i])
+	}
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-300 {
+			return nil, fmt.Errorf("singular system in least squares")
+		}
+		m[col], m[piv] = m[piv], m[col]
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := m[r][col] / m[col][col]
+			for k := col; k <= n; k++ {
+				m[r][k] -= f * m[col][k]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x[i] = m[i][n] / m[i][i]
+	}
+	return x, nil
+}
+
+// MaxAnchorError returns the largest relative deviation of the calibrated
+// model from the curve's own anchors — the calibration residual.
+func (c *Curve) MaxAnchorError() float64 {
+	worst := 0.0
+	for _, a := range c.Anchors {
+		rel := math.Abs(c.SYPD(a.Res)-a.SYPD) / a.SYPD
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// ScaledTo returns a new curve for a configuration with a different
+// grid-point count, using family scaling of the calibrated coefficients:
+// compute scales with points, halo with √points, collectives unchanged.
+// The derived curve has no anchors of its own.
+func (c *Curve) ScaledTo(id string, resKm, points float64) *Curve {
+	if !c.fit {
+		panic(fmt.Sprintf("perfmodel: scaling uncalibrated curve %s", c.ID))
+	}
+	if c.LogLog {
+		panic(fmt.Sprintf("perfmodel: curve %s is interpolated and cannot be family-scaled", c.ID))
+	}
+	ratio := points / c.Points
+	out := &Curve{
+		ID:        id,
+		Label:     fmt.Sprintf("%s (family-scaled from %s)", id, c.ID),
+		Machine:   c.Machine,
+		Component: c.Component,
+		Variant:   c.Variant,
+		ResKm:     resKm,
+		Points:    points,
+		Unit:      c.Unit,
+		fit:       true,
+	}
+	out.coef[bSuper] = c.coef[bSuper] * math.Pow(ratio, 1.3)
+	out.coef[bComp] = c.coef[bComp] * ratio
+	out.coef[bHalo] = c.coef[bHalo] * math.Sqrt(ratio)
+	out.coef[bColl] = c.coef[bColl]
+	return out
+}
+
+// Breakdown reports the fractional contribution of each cost term at a
+// resource count: compute (including the cache term), halo, collectives.
+func (c *Curve) Breakdown(res float64) (comp, halo, coll float64) {
+	if c.LogLog {
+		// Interpolated curves carry no cost decomposition; report the whole
+		// time as compute.
+		return 1, 0, 0
+	}
+	t := c.timeAt(res)
+	if t == 0 {
+		return 0, 0, 0
+	}
+	comp = (c.coef[bSuper]*basisValue(bSuper, res) + c.coef[bComp]*basisValue(bComp, res)) / t
+	halo = c.coef[bHalo] * basisValue(bHalo, res) / t
+	coll = c.coef[bColl] * basisValue(bColl, res) / t
+	return
+}

@@ -1,0 +1,84 @@
+package perfmodel
+
+import "math"
+
+// SOTAEntry is one published high-resolution coupled model run plotted in
+// Figure 2: total grid points against achieved SYPD.
+type SOTAEntry struct {
+	Name       string
+	Year       int
+	GridPoints float64
+	SYPD       float64
+	// LineAnchor marks the two "most favorable" cases the paper draws its
+	// state-of-the-art dividing line through (CNRM 2019 and CESM 2024).
+	LineAnchor bool
+	// ThisWork marks the AP3ESM points.
+	ThisWork bool
+	// Source notes whether the numbers are quoted in the paper's text or
+	// estimated from the cited publication's configuration.
+	Source string
+}
+
+// Figure2Entries returns the Fig 2 dataset. SYPD values quoted in the
+// paper's text are used verbatim; grid-point totals not stated in the text
+// are estimates from the cited configurations (resolution × levels), which
+// is all Fig 2 needs — the figure is read on log axes.
+func Figure2Entries() []SOTAEntry {
+	return []SOTAEntry{
+		{Name: "HadGEM3-GC3.1-HH", Year: 2018, GridPoints: 1.3e9, SYPD: 0.49,
+			Source: "paper text (0.49 SYPD); grid total estimated from 0.08° ocean + N512 atmosphere"},
+		{Name: "CNRM-CM6-1-HR", Year: 2019, GridPoints: 1.6e8, SYPD: 2.1, LineAnchor: true,
+			Source: "line anchor; estimated from 0.25° ocean + 0.5° atmosphere CMIP6 DECK configuration"},
+		{Name: "E3SM v1 HR", Year: 2019, GridPoints: 1.1e8, SYPD: 0.8,
+			Source: "paper text (~0.8 SYPD on ~640k cores)"},
+		{Name: "ICON MSA (JUWELS)", Year: 2023, GridPoints: 3.0e9, SYPD: 0.47,
+			Source: "paper text (170 SDPD ≈ 0.47 SYPD at 5 km global)"},
+		{Name: "EC-Earth3P-VHR", Year: 2024, GridPoints: 1.1e9, SYPD: 2.8,
+			Source: "paper text (~2.8 SYPD); note: this point plots above the paper's own SOTA line"},
+		{Name: "CESM (Sunway)", Year: 2024, GridPoints: 5.0e9, SYPD: 0.61, LineAnchor: true,
+			Source: "paper text (222 SDPD = 0.61 SYPD coupled, 5 km atm / 3 km ocn)"},
+		{Name: "nextGEMS ICON", Year: 2025, GridPoints: 1.5e9, SYPD: 1.64,
+			Source: "paper text (600 SDPD at 9 km atm / 5 km ocn production)"},
+		{Name: "IFS-FESOM", Year: 2025, GridPoints: 1.2e9, SYPD: 1.6,
+			Source: "estimated; nextGEMS companion configuration"},
+		{Name: "AP3ESM 3v2", Year: 2025, GridPoints: 1.5e10, SYPD: 1.01, ThisWork: true,
+			Source: "this paper, Table 1/§7.2"},
+		{Name: "AP3ESM 1v1", Year: 2025, GridPoints: 7.2e10, SYPD: 0.54, ThisWork: true,
+			Source: "this paper, Table 1/§7.2"},
+	}
+}
+
+// SOTALine is the log-linear dividing line of Fig 2: log10(SYPD) =
+// Slope·log10(gridPoints) + Intercept, fit through the two anchor entries.
+type SOTALine struct {
+	Slope     float64
+	Intercept float64
+}
+
+// FitSOTALine computes the line through the two LineAnchor entries.
+func FitSOTALine(entries []SOTAEntry) SOTALine {
+	var xs, ys []float64
+	for _, e := range entries {
+		if e.LineAnchor {
+			xs = append(xs, math.Log10(e.GridPoints))
+			ys = append(ys, math.Log10(e.SYPD))
+		}
+	}
+	if len(xs) != 2 {
+		panic("perfmodel: Fig 2 needs exactly two line anchors")
+	}
+	slope := (ys[1] - ys[0]) / (xs[1] - xs[0])
+	return SOTALine{Slope: slope, Intercept: ys[0] - slope*xs[0]}
+}
+
+// At returns the line's SYPD at a grid-point count.
+func (l SOTALine) At(gridPoints float64) float64 {
+	return math.Pow(10, l.Slope*math.Log10(gridPoints)+l.Intercept)
+}
+
+// Above reports whether an entry sits above the state-of-the-art line, and
+// by what factor.
+func (l SOTALine) Above(e SOTAEntry) (bool, float64) {
+	ref := l.At(e.GridPoints)
+	return e.SYPD > ref, e.SYPD / ref
+}

@@ -1,0 +1,194 @@
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/grid"
+)
+
+// Table2Row is one measurement row of Table 2, with the paper's value and
+// the calibrated model's value side by side.
+type Table2Row struct {
+	System    string
+	Config    string
+	Nodes     int
+	Resource  int // cores (Sunway) or GPUs (ORISE)
+	Unit      string
+	PaperSYPD float64
+	ModelSYPD float64
+	// Efficiency is strong-scaling efficiency relative to the first row of
+	// the same configuration (modelled values).
+	Efficiency float64
+}
+
+// nodesForAnchor converts an anchor's resource count to nodes for display:
+// MPE-only Sunway runs use one active core per rank (6 per node); CPE runs
+// use the full 390 cores per node; ORISE runs use 4 GPUs per node.
+func nodesForAnchor(c *Curve, res float64) int {
+	switch {
+	case c.Unit == "GPUs":
+		return int(res) / c.Machine.AccelPerNode
+	case c.Variant == "MPE":
+		return int(res) / c.Machine.RanksPerNode
+	default:
+		return int(res) / c.Machine.CoresPerNode
+	}
+}
+
+// Table2 regenerates every row of Table 2 from the calibrated model.
+func (m *Model) Table2() []Table2Row {
+	specs := []struct {
+		id     string
+		system string
+		config string
+	}{
+		{CurveOCN1Orig, "ORISE", "1 km OCN model (Original)"},
+		{CurveOCN1OPT, "ORISE", "1 km OCN model (OPT)"},
+		{CurveOCN2MPE, "Sunway OceanLight", "2 km OCN model (MPE)"},
+		{CurveOCN2CPE, "Sunway OceanLight", "2 km OCN model (CPE+OPT)"},
+		{CurveATM3MPE, "Sunway OceanLight", "3 km ATM model (MPE)"},
+		{CurveATM3CPE, "Sunway OceanLight", "3 km ATM model (CPE+OPT)"},
+		{CurveATM1CPE, "Sunway OceanLight", "1 km ATM model (CPE+OPT)"},
+		{CurveESM3v2, "Sunway OceanLight", "3v2 AP3ESM (CPE+OPT)"},
+		{CurveESM1v1, "Sunway OceanLight", "1v1 AP3ESM (CPE+OPT)"},
+	}
+	var rows []Table2Row
+	for _, sp := range specs {
+		c := m.MustCurve(sp.id)
+		first := c.Anchors[0]
+		for _, a := range c.Anchors {
+			rows = append(rows, Table2Row{
+				System:     sp.system,
+				Config:     sp.config,
+				Nodes:      nodesForAnchor(c, a.Res),
+				Resource:   int(a.Res),
+				Unit:       c.Unit,
+				PaperSYPD:  a.SYPD,
+				ModelSYPD:  c.SYPD(a.Res),
+				Efficiency: c.Efficiency(first.Res, a.Res),
+			})
+		}
+	}
+	return rows
+}
+
+// FormatTable2 renders the rows as the aligned text table printed by
+// cmd/tables.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-18s %-28s %8s %10s %6s %10s %10s %6s\n",
+		"System", "Configuration", "Nodes", "Resource", "Unit", "Paper", "Model", "Eff")
+	prev := ""
+	for _, r := range rows {
+		cfg := r.Config
+		if cfg == prev {
+			cfg = ""
+		} else {
+			prev = cfg
+		}
+		fmt.Fprintf(&b, "%-18s %-28s %8d %10d %6s %10.4f %10.4f %5.1f%%\n",
+			r.System, cfg, r.Nodes, r.Resource, r.Unit, r.PaperSYPD, r.ModelSYPD, 100*r.Efficiency)
+	}
+	return b.String()
+}
+
+// Fig8aPoint is one sample of a strong-scaling curve for Figure 8a.
+type Fig8aPoint struct {
+	Nodes    int
+	Resource float64
+	SYPD     float64
+	IsAnchor bool
+	Paper    float64 // paper SYPD when IsAnchor
+}
+
+// Fig8aSeries samples a curve across its measured node range with the given
+// number of log-spaced samples plus the anchors themselves.
+func (m *Model) Fig8aSeries(id string, samples int) (string, []Fig8aPoint, error) {
+	c, err := m.Curve(id)
+	if err != nil {
+		return "", nil, err
+	}
+	lo := c.Anchors[0].Res
+	hi := c.Anchors[len(c.Anchors)-1].Res
+	var pts []Fig8aPoint
+	for i := 0; i < samples; i++ {
+		f := float64(i) / float64(samples-1)
+		res := lo * math.Pow(hi/lo, f)
+		pts = append(pts, Fig8aPoint{
+			Nodes:    nodesForAnchor(c, res),
+			Resource: res,
+			SYPD:     c.SYPD(res),
+		})
+	}
+	for _, a := range c.Anchors {
+		pts = append(pts, Fig8aPoint{
+			Nodes: nodesForAnchor(c, a.Res), Resource: a.Res,
+			SYPD: c.SYPD(a.Res), IsAnchor: true, Paper: a.SYPD,
+		})
+	}
+	return c.Label, pts, nil
+}
+
+// Table1Row is one configuration row of Table 1, regenerated from the grid
+// generators' closed forms and catalogs.
+type Table1Row struct {
+	Label      string
+	AtmResKm   int
+	AtmCells   int64
+	AtmEdges   int64
+	AtmVerts   int64
+	AtmPoints  float64 // cells × 30 levels
+	OcnResKm   int
+	OcnLon     int
+	OcnLat     int
+	OcnPoints  float64 // lon × lat × 80 levels
+	TotalGrids float64
+}
+
+// CoupledPairs lists the five AP3ESM resolution pairs of Table 1.
+var CoupledPairs = []struct {
+	Label    string
+	AtmResKm int
+	OcnResKm int
+}{
+	{"1v1", 1, 1},
+	{"3v2", 3, 2},
+	{"6v3", 6, 3},
+	{"10v5", 10, 5},
+	{"25v10", 25, 10},
+}
+
+// Table1 regenerates the configuration table.
+func Table1() []Table1Row {
+	var rows []Table1Row
+	for _, p := range CoupledPairs {
+		r := Table1Row{Label: p.Label, AtmResKm: p.AtmResKm, OcnResKm: p.OcnResKm}
+		r.AtmCells, r.AtmEdges, r.AtmVerts = grid.IcosCounts(grid.GristLevelForRes[p.AtmResKm])
+		r.AtmPoints = float64(r.AtmCells) * 30
+		cfg, err := grid.LICOMConfigForRes(p.OcnResKm)
+		if err != nil {
+			panic(err)
+		}
+		r.OcnLon, r.OcnLat = cfg.NLon, cfg.NLat
+		r.OcnPoints = float64(cfg.NLon) * float64(cfg.NLat) * float64(cfg.NLevel)
+		r.TotalGrids = r.AtmPoints + r.OcnPoints
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// FormatTable1 renders Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s | %-3s %12s %12s %12s %12s | %-3s %8s %8s %12s | %12s\n",
+		"Label", "atm", "cells", "edges", "vertices", "3D points",
+		"ocn", "nlon", "nlat", "3D points", "total grids")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-6s | %3d %12d %12d %12d %12.3g | %3d %8d %8d %12.3g | %12.3g\n",
+			r.Label, r.AtmResKm, r.AtmCells, r.AtmEdges, r.AtmVerts, r.AtmPoints,
+			r.OcnResKm, r.OcnLon, r.OcnLat, r.OcnPoints, r.TotalGrids)
+	}
+	return b.String()
+}

@@ -1,0 +1,158 @@
+package pp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// MDRange is a tiled multi-dimensional iteration range, the analogue of
+// Kokkos::MDRangePolicy. The paper highlights finer-grained tile profiling
+// for multi-dimensional parallel iterations as one of the Kokkos advantages
+// on Sunway (§5.3); TileStats captures exactly that.
+type MDRange struct {
+	Lower []int
+	Upper []int
+	Tile  []int
+}
+
+// NewMDRange builds a range over [lower[d], upper[d]) per dimension with the
+// given tile extents; a zero or negative tile extent defaults to the full
+// dimension length.
+func NewMDRange(lower, upper, tile []int) (*MDRange, error) {
+	if len(lower) != len(upper) || len(lower) != len(tile) {
+		return nil, fmt.Errorf("pp: mdrange rank mismatch: %d/%d/%d", len(lower), len(upper), len(tile))
+	}
+	if len(lower) == 0 {
+		return nil, fmt.Errorf("pp: mdrange needs at least one dimension")
+	}
+	t := make([]int, len(tile))
+	for d := range tile {
+		if upper[d] < lower[d] {
+			return nil, fmt.Errorf("pp: mdrange dim %d has upper %d < lower %d", d, upper[d], lower[d])
+		}
+		t[d] = tile[d]
+		if t[d] <= 0 {
+			t[d] = upper[d] - lower[d]
+			if t[d] == 0 {
+				t[d] = 1
+			}
+		}
+	}
+	lo := append([]int(nil), lower...)
+	hi := append([]int(nil), upper...)
+	return &MDRange{Lower: lo, Upper: hi, Tile: t}, nil
+}
+
+// NumTiles returns the total number of tiles in the range.
+func (r *MDRange) NumTiles() int {
+	n := 1
+	for d := range r.Lower {
+		len := r.Upper[d] - r.Lower[d]
+		n *= (len + r.Tile[d] - 1) / r.Tile[d]
+	}
+	return n
+}
+
+// tileBounds decodes flat tile index t into per-dimension [lo,hi) bounds.
+func (r *MDRange) tileBounds(t int) (lo, hi []int) {
+	nd := len(r.Lower)
+	lo = make([]int, nd)
+	hi = make([]int, nd)
+	for d := nd - 1; d >= 0; d-- {
+		length := r.Upper[d] - r.Lower[d]
+		tiles := (length + r.Tile[d] - 1) / r.Tile[d]
+		idx := t % tiles
+		t /= tiles
+		lo[d] = r.Lower[d] + idx*r.Tile[d]
+		hi[d] = lo[d] + r.Tile[d]
+		if hi[d] > r.Upper[d] {
+			hi[d] = r.Upper[d]
+		}
+	}
+	return lo, hi
+}
+
+// TileStats holds per-tile profiling results from ParallelForMD.
+type TileStats struct {
+	Tiles   int
+	Min     time.Duration
+	Max     time.Duration
+	Total   time.Duration
+	PerTile []time.Duration
+}
+
+// Imbalance returns max/mean tile time, a load-imbalance factor (1 = perfectly
+// balanced). Returns 0 for an empty range.
+func (s *TileStats) Imbalance() float64 {
+	if s.Tiles == 0 || s.Total == 0 {
+		return 0
+	}
+	mean := float64(s.Total) / float64(s.Tiles)
+	return float64(s.Max) / mean
+}
+
+// ParallelForMD2 runs f(i, j) over a 2-D MDRange on the space, tile by tile,
+// and optionally profiles each tile. The tile loop parallelizes across the
+// space; iterations within a tile run sequentially on one worker, matching
+// Kokkos' MDRange semantics.
+func ParallelForMD2(s Space, r *MDRange, profile bool, f func(i, j int)) *TileStats {
+	if len(r.Lower) != 2 {
+		panic(fmt.Sprintf("pp: ParallelForMD2 on rank-%d range", len(r.Lower)))
+	}
+	nt := r.NumTiles()
+	var stats *TileStats
+	var mu sync.Mutex
+	if profile {
+		stats = &TileStats{Tiles: nt, PerTile: make([]time.Duration, nt), Min: 1 << 62}
+	}
+	s.ParallelFor(nt, func(t int) {
+		var start time.Time
+		if profile {
+			start = time.Now()
+		}
+		lo, hi := r.tileBounds(t)
+		for i := lo[0]; i < hi[0]; i++ {
+			for j := lo[1]; j < hi[1]; j++ {
+				f(i, j)
+			}
+		}
+		if profile {
+			d := time.Since(start)
+			mu.Lock()
+			stats.PerTile[t] = d
+			stats.Total += d
+			if d < stats.Min {
+				stats.Min = d
+			}
+			if d > stats.Max {
+				stats.Max = d
+			}
+			mu.Unlock()
+		}
+	})
+	if profile && nt == 0 {
+		stats.Min = 0
+	}
+	return stats
+}
+
+// ParallelForMD3 runs f(i, j, k) over a 3-D MDRange on the space. The outer
+// two dimensions tile across workers; the innermost runs contiguously, the
+// layout used by the ocean's (level, lat, lon) loops.
+func ParallelForMD3(s Space, r *MDRange, f func(i, j, k int)) {
+	if len(r.Lower) != 3 {
+		panic(fmt.Sprintf("pp: ParallelForMD3 on rank-%d range", len(r.Lower)))
+	}
+	nt := r.NumTiles()
+	s.ParallelFor(nt, func(t int) {
+		lo, hi := r.tileBounds(t)
+		for i := lo[0]; i < hi[0]; i++ {
+			for j := lo[1]; j < hi[1]; j++ {
+				for k := lo[2]; k < hi[2]; k++ {
+					f(i, j, k)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,107 @@
+package pp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+)
+
+// Kernel is a registered parallel kernel: it receives the execution space
+// and an opaque argument bundle. On the real Sunway system, Kokkos kernels
+// are C++ templates that the TMP-constrained device toolchain cannot
+// instantiate; the paper's workaround (§5.3) registers each concrete kernel
+// under a hash at host-compile time and dispatches on the device through a
+// callback table. Registry reproduces that mechanism.
+type Kernel func(s Space, args any)
+
+// Registry maps kernel-name hashes to callbacks.
+type Registry struct {
+	mu      sync.RWMutex
+	byHash  map[uint64]Kernel
+	nameOf  map[uint64]string
+	launces map[uint64]int
+}
+
+// NewRegistry returns an empty kernel registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		byHash:  make(map[uint64]Kernel),
+		nameOf:  make(map[uint64]string),
+		launces: make(map[uint64]int),
+	}
+}
+
+// HashName computes the 64-bit FNV-1a hash used as the kernel's registration
+// key, mirroring the paper's hash-based function registration.
+func HashName(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Register adds a kernel under its name hash and returns the hash. A second
+// registration under a colliding hash with a different name is an error —
+// the failure mode the mechanism must guard against.
+func (r *Registry) Register(name string, k Kernel) (uint64, error) {
+	h := HashName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.nameOf[h]; ok {
+		if prev != name {
+			return 0, fmt.Errorf("pp: hash collision: %q and %q both hash to %#x", prev, name, h)
+		}
+		return 0, fmt.Errorf("pp: kernel %q already registered", name)
+	}
+	r.byHash[h] = k
+	r.nameOf[h] = name
+	return h, nil
+}
+
+// MustRegister is Register that panics on error, for package-level tables.
+func (r *Registry) MustRegister(name string, k Kernel) uint64 {
+	h, err := r.Register(name, k)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Launch dispatches the kernel registered under hash h on space s.
+func (r *Registry) Launch(h uint64, s Space, args any) error {
+	r.mu.RLock()
+	k, ok := r.byHash[h]
+	r.mu.RUnlock()
+	if !ok {
+		return fmt.Errorf("pp: no kernel registered under hash %#x", h)
+	}
+	r.mu.Lock()
+	r.launces[h]++
+	r.mu.Unlock()
+	k(s, args)
+	return nil
+}
+
+// LaunchByName is a convenience wrapper hashing the name first.
+func (r *Registry) LaunchByName(name string, s Space, args any) error {
+	return r.Launch(HashName(name), s, args)
+}
+
+// LaunchCount returns how many times the named kernel has been launched.
+func (r *Registry) LaunchCount(name string) int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.launces[HashName(name)]
+}
+
+// Names returns the registered kernel names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.nameOf))
+	for _, n := range r.nameOf {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

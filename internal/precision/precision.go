@@ -1,0 +1,201 @@
+// Package precision implements the mixed-precision machinery of §5.2.3: a
+// group-wise scaling FP64/FP32 scheme for model state, and the accuracy
+// metrics the paper uses to accept a mixed-precision configuration — the
+// relative L2 norm for the atmosphere (surface pressure and relative
+// vorticity, 5 % threshold) and the grid-area-weighted root-mean-square
+// deviation for the tripolar-grid ocean (temperature, salinity, sea surface
+// height).
+package precision
+
+import (
+	"fmt"
+	"math"
+)
+
+// Policy selects the arithmetic mode of a model component.
+type Policy int
+
+const (
+	// FP64 keeps all state and arithmetic in float64 (the baseline).
+	FP64 Policy = iota
+	// Mixed stores designated variable groups in group-wise scaled FP32
+	// while accumulations remain FP64.
+	Mixed
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case FP64:
+		return "FP64"
+	case Mixed:
+		return "FP64/FP32 group-wise scaled"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// GroupScaled is a float64 vector stored as scaled float32 groups: each
+// group of Group consecutive values shares one power-of-two scale chosen so
+// the group's maximum magnitude uses the full float32 mantissa. This is the
+// "group-wise scaling mixed-precision method" of §5.2.3: scaling prevents
+// the dynamic-range loss that plain float64→float32 truncation suffers for
+// fields spanning many orders of magnitude (e.g. moisture, pressure).
+type GroupScaled struct {
+	Group  int
+	Scales []float64 // one per group, power of two
+	Vals   []float32
+	N      int
+}
+
+// EncodeGroupScaled packs x into a GroupScaled with the given group size.
+func EncodeGroupScaled(x []float64, group int) (*GroupScaled, error) {
+	if group <= 0 {
+		return nil, fmt.Errorf("precision: group size must be positive, got %d", group)
+	}
+	ng := (len(x) + group - 1) / group
+	gs := &GroupScaled{
+		Group:  group,
+		Scales: make([]float64, ng),
+		Vals:   make([]float32, len(x)),
+		N:      len(x),
+	}
+	for g := 0; g < ng; g++ {
+		lo := g * group
+		hi := lo + group
+		if hi > len(x) {
+			hi = len(x)
+		}
+		maxAbs := 0.0
+		for _, v := range x[lo:hi] {
+			if a := math.Abs(v); a > maxAbs {
+				maxAbs = a
+			}
+		}
+		scale := 1.0
+		if maxAbs > 0 {
+			// Power-of-two scale so the group max lands near 1: exact to
+			// re-multiply, so scaling itself introduces no rounding error.
+			_, exp := math.Frexp(maxAbs)
+			scale = math.Ldexp(1, exp)
+		}
+		gs.Scales[g] = scale
+		inv := 1 / scale
+		for i := lo; i < hi; i++ {
+			gs.Vals[i] = float32(x[i] * inv)
+		}
+	}
+	return gs, nil
+}
+
+// Decode unpacks into dst (allocated if nil) and returns it.
+func (gs *GroupScaled) Decode(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, gs.N)
+	}
+	if len(dst) != gs.N {
+		panic(fmt.Sprintf("precision: decode into length %d, want %d", len(dst), gs.N))
+	}
+	for i := 0; i < gs.N; i++ {
+		dst[i] = float64(gs.Vals[i]) * gs.Scales[i/gs.Group]
+	}
+	return dst
+}
+
+// Bytes returns the storage footprint in bytes (values + scales), for the
+// memory-saving accounting.
+func (gs *GroupScaled) Bytes() int {
+	return 4*len(gs.Vals) + 8*len(gs.Scales)
+}
+
+// QuantizeInPlace rounds x through the group-scaled FP32 representation,
+// simulating one FP32 compute-and-store cycle on the field. Model steps
+// under the Mixed policy call this on their designated variable groups.
+func QuantizeInPlace(x []float64, group int) error {
+	gs, err := EncodeGroupScaled(x, group)
+	if err != nil {
+		return err
+	}
+	gs.Decode(x)
+	return nil
+}
+
+// RelL2 returns the relative L2 norm of (a - b) against b:
+// ‖a−b‖₂ / ‖b‖₂. This is the atmosphere acceptance metric (5 % threshold
+// for surface pressure and relative vorticity deviations).
+func RelL2(a, b []float64) (float64, error) {
+	if len(a) != len(b) {
+		return 0, fmt.Errorf("precision: RelL2 length mismatch %d vs %d", len(a), len(b))
+	}
+	var num, den float64
+	for i := range a {
+		d := a[i] - b[i]
+		num += d * d
+		den += b[i] * b[i]
+	}
+	if den == 0 {
+		if num == 0 {
+			return 0, nil
+		}
+		return math.Inf(1), nil
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// AreaWeightedRMSD returns sqrt(Σ w·(a−b)² / Σ w): the ocean acceptance
+// metric, with w the tripolar-grid cell areas (§5.2.3 incorporates grid
+// area because tripolar cells vary strongly in size).
+func AreaWeightedRMSD(a, b, area []float64) (float64, error) {
+	if len(a) != len(b) || len(a) != len(area) {
+		return 0, fmt.Errorf("precision: RMSD length mismatch %d/%d/%d", len(a), len(b), len(area))
+	}
+	var num, den float64
+	for i := range a {
+		d := a[i] - b[i]
+		num += area[i] * d * d
+		den += area[i]
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("precision: zero total area")
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// MaskedAreaRMSD is AreaWeightedRMSD restricted to points where mask is
+// true (ocean-only comparison of T, S, SSH).
+func MaskedAreaRMSD(a, b, area []float64, mask []bool) (float64, error) {
+	if len(a) != len(b) || len(a) != len(area) || len(a) != len(mask) {
+		return 0, fmt.Errorf("precision: masked RMSD length mismatch")
+	}
+	var num, den float64
+	for i := range a {
+		if !mask[i] {
+			continue
+		}
+		d := a[i] - b[i]
+		num += area[i] * d * d
+		den += area[i]
+	}
+	if den == 0 {
+		return 0, fmt.Errorf("precision: empty mask")
+	}
+	return math.Sqrt(num / den), nil
+}
+
+// Thresholds bundles the acceptance criteria of §5.2.3.
+type Thresholds struct {
+	AtmosRelL2   float64 // 0.05: surface pressure & vorticity
+	OceanTempC   float64 // 0.018 °C reported RMSD scale
+	OceanSaltPSU float64 // 0.0098 psu
+	OceanSSHm    float64 // 0.0005 m
+}
+
+// PaperThresholds returns the paper's reported acceptance values.
+func PaperThresholds() Thresholds {
+	return Thresholds{
+		AtmosRelL2:   0.05,
+		OceanTempC:   0.018,
+		OceanSaltPSU: 0.0098,
+		OceanSSHm:    0.0005,
+	}
+}

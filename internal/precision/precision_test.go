@@ -1,0 +1,218 @@
+package precision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTripAccuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	x := make([]float64, 1000)
+	for i := range x {
+		// Wide dynamic range across groups, narrow within each group,
+		// the regime group scaling is designed for.
+		base := math.Pow(10, float64(i/64)-8)
+		x[i] = base * (1 + rng.Float64())
+	}
+	gs, err := EncodeGroupScaled(x, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := gs.Decode(nil)
+	for i := range x {
+		rel := math.Abs(y[i]-x[i]) / math.Abs(x[i])
+		if rel > 1.2e-7 { // float32 epsilon ~1.19e-7
+			t.Fatalf("x[%d]: rel err %g", i, rel)
+		}
+	}
+}
+
+func TestGroupScalingBeatsPlainFloat32OnWideRange(t *testing.T) {
+	// A field mixing O(1e5) and O(1e-7) values: plain float32 keeps the
+	// small values' relative error, but a *shared-exponent fixed-point*
+	// would not. Group scaling must bound relative error per group.
+	x := []float64{1e5, 1.00001e5, 1e-7, 1.23456789e-7}
+	gs, _ := EncodeGroupScaled(x, 2)
+	y := gs.Decode(nil)
+	for i := range x {
+		rel := math.Abs(y[i]-x[i]) / math.Abs(x[i])
+		if rel > 1.2e-7 {
+			t.Errorf("x[%d] rel err %g", i, rel)
+		}
+	}
+}
+
+func TestEncodeErrorBoundProperty(t *testing.T) {
+	f := func(seed int64, rawGroup uint8) bool {
+		group := 1 + int(rawGroup%100)
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(500)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = (rng.Float64() - 0.5) * math.Pow(10, float64(rng.Intn(12)-6))
+		}
+		gs, err := EncodeGroupScaled(x, group)
+		if err != nil {
+			return false
+		}
+		y := gs.Decode(nil)
+		for g := 0; (g * group) < n; g++ {
+			lo := g * group
+			hi := lo + group
+			if hi > n {
+				hi = n
+			}
+			maxAbs := 0.0
+			for _, v := range x[lo:hi] {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			for i := lo; i < hi; i++ {
+				// Absolute error bounded by group max × float32 eps.
+				if math.Abs(y[i]-x[i]) > maxAbs*1.2e-7 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeHandlesZerosAndNegatives(t *testing.T) {
+	x := []float64{0, 0, -3.5, 2.25, 0, -1e-300}
+	gs, err := EncodeGroupScaled(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y := gs.Decode(nil)
+	if y[0] != 0 || y[1] != 0 {
+		t.Error("zeros not preserved")
+	}
+	if y[2] != -3.5 || y[3] != 2.25 {
+		t.Errorf("exact dyadics changed: %v", y)
+	}
+}
+
+func TestEncodeRejectsBadGroup(t *testing.T) {
+	if _, err := EncodeGroupScaled([]float64{1}, 0); err == nil {
+		t.Error("group 0 accepted")
+	}
+	if err := QuantizeInPlace([]float64{1}, -1); err == nil {
+		t.Error("negative group accepted")
+	}
+}
+
+func TestQuantizeInPlaceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := make([]float64, 256)
+	for i := range x {
+		x[i] = rng.NormFloat64() * 1e3
+	}
+	if err := QuantizeInPlace(x, 32); err != nil {
+		t.Fatal(err)
+	}
+	y := append([]float64(nil), x...)
+	if err := QuantizeInPlace(y, 32); err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("quantize not idempotent at %d: %v vs %v", i, x[i], y[i])
+		}
+	}
+}
+
+func TestBytesAccounting(t *testing.T) {
+	gs, _ := EncodeGroupScaled(make([]float64, 128), 32)
+	want := 4*128 + 8*4
+	if gs.Bytes() != want {
+		t.Errorf("bytes = %d, want %d", gs.Bytes(), want)
+	}
+	// Mixed storage must save vs FP64 (8 bytes/val).
+	if gs.Bytes() >= 8*128 {
+		t.Error("no memory saving")
+	}
+}
+
+func TestRelL2(t *testing.T) {
+	b := []float64{3, 4}
+	a := []float64{3, 4.5}
+	got, err := RelL2(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.5/5) > 1e-15 {
+		t.Errorf("relL2 = %v", got)
+	}
+	if _, err := RelL2([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	z, _ := RelL2([]float64{0, 0}, []float64{0, 0})
+	if z != 0 {
+		t.Errorf("zero/zero = %v", z)
+	}
+	inf, _ := RelL2([]float64{1}, []float64{0})
+	if !math.IsInf(inf, 1) {
+		t.Errorf("nonzero/zero = %v", inf)
+	}
+}
+
+func TestAreaWeightedRMSD(t *testing.T) {
+	a := []float64{1, 2}
+	b := []float64{1, 0}
+	// Weight the deviating point by 3 of 4 total area.
+	got, err := AreaWeightedRMSD(a, b, []float64{1, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(3 * 4 / 4.0)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("rmsd = %v, want %v", got, want)
+	}
+	if _, err := AreaWeightedRMSD(a, b, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := AreaWeightedRMSD(a, b, []float64{0, 0}); err == nil {
+		t.Error("zero area accepted")
+	}
+}
+
+func TestMaskedAreaRMSD(t *testing.T) {
+	a := []float64{5, 2, 9}
+	b := []float64{5, 0, 0}
+	mask := []bool{true, true, false} // third point is land: excluded
+	got, err := MaskedAreaRMSD(a, b, []float64{1, 1, 1}, mask)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(4.0 / 2)
+	if math.Abs(got-want) > 1e-15 {
+		t.Errorf("masked rmsd = %v, want %v", got, want)
+	}
+	if _, err := MaskedAreaRMSD(a, b, []float64{1, 1, 1}, []bool{false, false, false}); err == nil {
+		t.Error("empty mask accepted")
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FP64.String() != "FP64" {
+		t.Error(FP64.String())
+	}
+	if Mixed.String() == "" || Policy(9).String() == "" {
+		t.Error("empty string")
+	}
+}
+
+func TestPaperThresholds(t *testing.T) {
+	th := PaperThresholds()
+	if th.AtmosRelL2 != 0.05 || th.OceanTempC != 0.018 ||
+		th.OceanSaltPSU != 0.0098 || th.OceanSSHm != 0.0005 {
+		t.Errorf("thresholds = %+v", th)
+	}
+}

@@ -1,0 +1,272 @@
+// Package seaice is the CICE4-substitute sea-ice component: a
+// Semtner-style thermodynamic ice model (growth from ocean heat loss, melt
+// from warm air/ocean, concentration evolution) with simple wind-driven
+// free drift, on the same tripolar grid and block decomposition as the
+// ocean. The paper notes the sea-ice component is not a performance
+// bottleneck; the reproduction keeps it faithful to the coupling contract —
+// it imports air temperature and ocean state, exports ice fraction and the
+// fluxes that modulate air–sea exchange — and applies the same
+// non-ocean-point exclusion as the ocean (§5.2.2).
+package seaice
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/grid"
+	"repro/internal/par"
+)
+
+// Physical constants.
+const (
+	iceDensity  = 917.0
+	latFusion   = 3.34e5 // J/kg
+	iceCond     = 2.03   // W/(m K)
+	freezePoint = 271.35 // K, seawater freezing
+	maxThick    = 5.0    // m, thickness cap
+)
+
+// Config sets the ice model parameters.
+type Config struct {
+	Dt         float64 // step, s
+	DriftCoeff float64 // ice speed as a fraction of wind speed (free drift ~2%)
+	MinConc    float64 // concentration floor treated as ice-free
+}
+
+// DefaultConfig returns standard parameters.
+func DefaultConfig() Config {
+	return Config{Dt: 3600, DriftCoeff: 0.02, MinConc: 1e-3}
+}
+
+// Model is the sea-ice state on one rank's block of the ocean grid.
+type Model struct {
+	G   *grid.Tripolar
+	B   *grid.Block
+	Cfg Config
+
+	// State per local cell (with halo storage for drift transport).
+	Conc  []float64 // ice concentration, 0–1
+	Thick []float64 // mean thickness over the ice-covered fraction, m
+
+	// Imports (set before Step).
+	TAir  []float64 // surface air temperature, K
+	SST   []float64 // sea surface temperature, K
+	WindU []float64 // 10 m wind components
+	WindV []float64
+
+	// Exports (valid after Step).
+	FreezeHeat []float64 // heat given to the ocean by freezing (negative = extracted), W/m²
+
+	wet []bool
+}
+
+// New builds the ice model on the block with an initial polar ice cap.
+func New(g *grid.Tripolar, b *grid.Block, cfg Config) (*Model, error) {
+	if cfg.Dt <= 0 {
+		return nil, fmt.Errorf("seaice: non-positive dt")
+	}
+	n := b.LNI() * b.LNJ()
+	m := &Model{
+		G: g, B: b, Cfg: cfg,
+		Conc: make([]float64, n), Thick: make([]float64, n),
+		TAir: make([]float64, n), SST: make([]float64, n),
+		WindU: make([]float64, n), WindV: make([]float64, n),
+		FreezeHeat: make([]float64, n),
+		wet:        make([]bool, n),
+	}
+	for lj := 0; lj < b.NJ; lj++ {
+		jg := b.J0 + lj
+		lat := g.Lat[jg]
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			gi := b.GIdx(li, lj)
+			m.wet[idx] = g.Mask[gi]
+			if !m.wet[idx] {
+				continue
+			}
+			// Initial caps poleward of ±65°.
+			if math.Abs(lat) > 65*math.Pi/180 {
+				m.Conc[idx] = 0.9
+				m.Thick[idx] = 1.5
+			}
+			m.TAir[idx] = 273.15 + 25*math.Cos(lat)*math.Cos(lat)
+			m.SST[idx] = math.Max(freezePoint, 273.15+27*math.Cos(lat)*math.Cos(lat))
+		}
+	}
+	// Wet mask in halos.
+	wetF := b.Alloc()
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			if m.wet[b.LIdx(li, lj)] {
+				wetF[b.LIdx(li, lj)] = 1
+			}
+		}
+	}
+	b.Exchange(wetF)
+	for i, v := range wetF {
+		if v > 0.5 {
+			m.wet[i] = true
+		}
+	}
+	return m, nil
+}
+
+// Step advances the ice one thermodynamic + drift step. The sweep runs only
+// over wet cells — the §5.2.2 exclusion applied to the ice model.
+func (m *Model) Step() {
+	dt := m.Cfg.Dt
+	b := m.B
+
+	// --- Thermodynamics ---
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			if !m.wet[idx] {
+				continue
+			}
+			m.FreezeHeat[idx] = 0
+			tAir := m.TAir[idx]
+			sst := m.SST[idx]
+
+			if m.Conc[idx] > m.Cfg.MinConc {
+				// Conductive growth/melt through the slab: flux ∝ (Tf−Ta)/h.
+				h := math.Max(m.Thick[idx], 0.1)
+				cond := iceCond * (freezePoint - tAir) / h // W/m², >0 grows ice
+				dh := cond * dt / (iceDensity * latFusion)
+				// Bottom melt from warm ocean.
+				oceanMelt := 20 * (sst - freezePoint) * dt / (iceDensity * latFusion)
+				if oceanMelt > 0 {
+					dh -= oceanMelt
+				}
+				m.Thick[idx] += dh
+				if m.Thick[idx] <= 0 {
+					m.Thick[idx] = 0
+					m.Conc[idx] = 0
+				} else if m.Thick[idx] > maxThick {
+					m.Thick[idx] = maxThick
+				}
+				// Concentration: melt shrinks, freezing spreads.
+				if dh < 0 {
+					m.Conc[idx] = math.Max(0, m.Conc[idx]+dh/2)
+				} else {
+					m.Conc[idx] = math.Min(1, m.Conc[idx]+dh/4)
+				}
+				m.FreezeHeat[idx] = -cond * m.Conc[idx]
+			} else if sst <= freezePoint && tAir < freezePoint {
+				// New ice formation in open freezing water.
+				m.Conc[idx] = 0.1
+				m.Thick[idx] = 0.1
+				m.FreezeHeat[idx] = iceDensity * latFusion * 0.1 * 0.1 / dt
+			}
+		}
+	}
+
+	// --- Free drift: upwind transport of concentration and volume by a
+	// fraction of the surface wind ---
+	b.Exchange(m.Conc)
+	b.Exchange(m.Thick)
+	b.ExchangeVec(m.WindU)
+	b.ExchangeVec(m.WindV)
+
+	vol := make([]float64, len(m.Conc))
+	for i := range vol {
+		vol[i] = m.Conc[i] * m.Thick[i]
+	}
+	b.Exchange(vol)
+
+	newConc := append([]float64(nil), m.Conc...)
+	newVol := append([]float64(nil), vol...)
+	for lj := 0; lj < b.NJ; lj++ {
+		jg := b.J0 + lj
+		dx := m.G.DX[jg]
+		dy := m.G.DY
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			if !m.wet[idx] {
+				continue
+			}
+			ui := m.Cfg.DriftCoeff * m.WindU[idx]
+			vi := m.Cfg.DriftCoeff * m.WindV[idx]
+			// First-order upwind gradients, masked at coasts.
+			adv := func(f []float64) float64 {
+				var d float64
+				if ui >= 0 {
+					if m.wet[idx-1] {
+						d += ui * (f[idx] - f[idx-1]) / dx
+					}
+				} else if m.wet[idx+1] {
+					d += ui * (f[idx+1] - f[idx]) / dx
+				}
+				if vi >= 0 {
+					if m.wet[idx-m.B.LNI()] {
+						d += vi * (f[idx] - f[idx-m.B.LNI()]) / dy
+					}
+				} else if m.wet[idx+m.B.LNI()] {
+					d += vi * (f[idx+m.B.LNI()] - f[idx]) / dy
+				}
+				return d
+			}
+			newConc[idx] = clamp01(m.Conc[idx] - dt*adv(m.Conc))
+			nv := vol[idx] - dt*adv(vol)
+			if nv < 0 {
+				nv = 0
+			}
+			newVol[idx] = nv
+		}
+	}
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			if !m.wet[idx] {
+				continue
+			}
+			m.Conc[idx] = newConc[idx]
+			if newConc[idx] > m.Cfg.MinConc {
+				m.Thick[idx] = math.Min(newVol[idx]/newConc[idx], maxThick)
+			} else {
+				m.Conc[idx] = 0
+				m.Thick[idx] = 0
+			}
+		}
+	}
+}
+
+// IceArea returns the global ice-covered area (m²).
+func (m *Model) IceArea() float64 {
+	var local float64
+	for lj := 0; lj < m.B.NJ; lj++ {
+		jg := m.B.J0 + lj
+		for li := 0; li < m.B.NI; li++ {
+			idx := m.B.LIdx(li, lj)
+			if m.wet[idx] {
+				local += m.Conc[idx] * m.G.DX[jg] * m.G.DY
+			}
+		}
+	}
+	return m.B.Cart.Comm.Allreduce(local, par.OpSum)
+}
+
+// IceVolume returns the global ice volume (m³).
+func (m *Model) IceVolume() float64 {
+	var local float64
+	for lj := 0; lj < m.B.NJ; lj++ {
+		jg := m.B.J0 + lj
+		for li := 0; li < m.B.NI; li++ {
+			idx := m.B.LIdx(li, lj)
+			if m.wet[idx] {
+				local += m.Conc[idx] * m.Thick[idx] * m.G.DX[jg] * m.G.DY
+			}
+		}
+	}
+	return m.B.Cart.Comm.Allreduce(local, par.OpSum)
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
