@@ -1,0 +1,28 @@
+# Developer entry points. `make check` is the full local gate: vet, build,
+# race-enabled tests, and the short SYPD benchmark (BENCH_1.json).
+
+GO ?= go
+
+.PHONY: all build vet test race check bench clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) run ./cmd/bench1 -out BENCH_1.json
+
+check: vet build race bench
+
+clean:
+	rm -f BENCH_1.json

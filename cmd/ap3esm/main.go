@@ -9,9 +9,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pp"
 	"repro/internal/precision"
@@ -25,6 +27,7 @@ func main() {
 	ranks := flag.Int("ranks", 1, "process count for the ocean/ice domain")
 	backend := flag.String("backend", "Serial", "execution space: Serial, Host, CPE")
 	mixed := flag.Bool("mixed", false, "run the dynamical cores in FP64/FP32 group-scaled mixed precision")
+	obsSpec := flag.String("obs", "off", "observability sink: off, mem, jsonl:PATH, prom:ADDR")
 	flag.Parse()
 
 	cfg, err := core.ConfigForLabel(*label)
@@ -39,6 +42,14 @@ func main() {
 		log.Fatal(err)
 	}
 
+	sink, err := obs.OpenSink(*obsSpec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if ps, ok := sink.(*obs.PromSink); ok && ps.Addr() != "" {
+		fmt.Printf("serving metrics at http://%s/metrics\n", ps.Addr())
+	}
+
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	stop := start.Add(time.Duration(*days*24) * time.Hour)
 
@@ -47,7 +58,16 @@ func main() {
 		cfg.OcnNX, cfg.OcnNY, cfg.OcnNLev, *ranks, sp.Name(), cfg.Policy)
 
 	par.Run(*ranks, func(c *par.Comm) {
-		e, err := core.New(cfg, c, start, stop, sp)
+		var observer obs.Observer = obs.Nop{}
+		var handle *obs.Obs
+		if sink != nil {
+			handle = obs.New(c.Rank(), sink)
+			observer = handle
+		}
+		e, err := core.NewWithOptions(cfg, c,
+			core.WithInterval(start, stop),
+			core.WithSpace(sp),
+			core.WithObserver(observer))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -55,10 +75,16 @@ func main() {
 		daysRun := 0.0
 		for e.Step() {
 			daysRun = e.SimulatedSeconds() / 86400
-			if c.Rank() == 0 && e.CouplingSteps()%45 == 0 {
+			if e.CouplingSteps()%45 == 0 {
+				// The ocean/ice diagnostics reduce across ranks, so every
+				// rank computes them; rank 0 prints.
 				minPs, _ := e.Atm.MinPs()
-				fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
-					daysRun, e.Atm.MaxWind(), minPs, e.Ocn.SurfaceKineticEnergy(), e.Ice.IceArea())
+				ke := e.Ocn.SurfaceKineticEnergy()
+				iceArea := e.Ice.IceArea()
+				if c.Rank() == 0 {
+					fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
+						daysRun, e.Atm.MaxWind(), minPs, ke, iceArea)
+				}
 			}
 		}
 		if c.Rank() == 0 {
@@ -67,5 +93,21 @@ func main() {
 			fmt.Printf("completed %.2f simulated days in %.1f s wall -> %.2f SYPD (miniature configuration)\n",
 				daysRun, elapsed, sypd)
 		}
+		if sink != nil {
+			rows := e.TimingReport() // collective: every rank participates
+			if c.Rank() == 0 {
+				fmt.Print(core.FormatTiming(rows))
+			}
+			handle.FlushMetrics()
+		}
 	})
+
+	if sink != nil {
+		if ps, ok := sink.(*obs.PromSink); ok {
+			ps.Render(os.Stdout) // final exposition for batch runs
+		}
+		if err := sink.Close(); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

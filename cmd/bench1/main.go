@@ -1,0 +1,103 @@
+// Command bench1 measures the SYPD of the quickstart configuration (25v10,
+// two ranks, Host space, six simulated hours) and writes the result as
+// BENCH_1.json — the short repeatable benchmark the check script runs so the
+// performance trajectory of the reproduction is recorded alongside its
+// tests.
+//
+//	bench1 [-config 25v10] [-ranks 2] [-steps 45] [-out BENCH_1.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pp"
+)
+
+// result is the benchmark record. Fields mirror what the paper's Table 4
+// rows report: the configuration, the resource count, and the achieved
+// simulation speed.
+type result struct {
+	Name      string  `json:"name"`
+	Config    string  `json:"config"`
+	Ranks     int     `json:"ranks"`
+	Steps     int     `json:"steps"`
+	Backend   string  `json:"backend"`
+	SYPD      float64 `json:"sypd"`
+	WallSec   float64 `json:"wall_sec"`
+	AtmSec    float64 `json:"atm_sec"`
+	OcnSec    float64 `json:"ocn_sec"`
+	Timestamp string  `json:"timestamp"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench1: ")
+	label := flag.String("config", "25v10", "coupled configuration label")
+	ranks := flag.Int("ranks", 2, "process count")
+	steps := flag.Int("steps", 45, "coupling steps to time (45 = six simulated hours)")
+	out := flag.String("out", "BENCH_1.json", "output path")
+	flag.Parse()
+
+	cfg, err := core.ConfigForLabel(*label)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := pp.NewHost(0)
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+
+	var res result
+	wall := time.Now()
+	par.Run(*ranks, func(c *par.Comm) {
+		e, err := core.NewWithOptions(cfg, c,
+			core.WithInterval(start, start.Add(24*time.Hour)),
+			core.WithSpace(sp),
+			core.WithObserver(obs.New(c.Rank(), nil)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		sypd, err := e.MeasureSYPD(*steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows := e.TimingReport() // collective
+		if c.Rank() != 0 {
+			return
+		}
+		res = result{
+			Name:    "quickstart-sypd",
+			Config:  cfg.Label,
+			Ranks:   *ranks,
+			Steps:   *steps,
+			Backend: sp.Name(),
+			SYPD:    sypd,
+		}
+		for _, r := range rows {
+			switch r.Section {
+			case "atm":
+				res.AtmSec = r.MaxWall.Seconds()
+			case "ocn":
+				res.OcnSec = r.MaxWall.Seconds()
+			}
+		}
+	})
+	res.WallSec = time.Since(wall).Seconds()
+	res.Timestamp = time.Now().UTC().Format(time.RFC3339)
+
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %.2f SYPD (%s, %d ranks, %d steps, %.1f s wall) -> %s\n",
+		res.Name, res.SYPD, res.Config, res.Ranks, res.Steps, res.WallSec, *out)
+}

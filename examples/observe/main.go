@@ -1,0 +1,89 @@
+// Observe: run the coupled model on two ranks with the full observability
+// layer enabled — a shared JSONL event sink, the getTiming-style component
+// report, and a rank-reduced view of the traffic counters the par layer
+// accumulates (§5.2.4's communication accounting).
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pp"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	cfg, err := core.ConfigForLabel("25v10")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One sink is shared by every rank; each rank gets its own *obs.Obs so
+	// span timelines stay per-rank, exactly like GPTL's per-process trees.
+	logPath := filepath.Join(os.TempDir(), "ap3esm-observe.jsonl")
+	sink, err := obs.NewJSONLSink(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	par.Run(2, func(c *par.Comm) {
+		o := obs.New(c.Rank(), sink)
+		esm, err := core.NewWithOptions(cfg, c,
+			core.WithInterval(start, start.Add(24*time.Hour)),
+			core.WithSpace(pp.NewHost(0)),
+			core.WithObserver(o))
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// Nesting demo: wrap the whole integration in a user span; the
+		// component sections (atm/ice/ocn) nest beneath it in the timeline.
+		sp := o.StartSpan("run")
+		esm.RunDays(0.25) // six simulated hours
+		sp.End()
+
+		// The classic report: max wall across ranks, SYPD per component.
+		rows := esm.TimingReport() // collective
+		if c.Rank() == 0 {
+			fmt.Print(core.FormatTiming(rows))
+		}
+
+		// Rank-reduced traffic counters: max shows the busiest rank, sum the
+		// total volume. Collective, like the report.
+		reduced := obs.ReduceObserver(c, o)
+		if c.Rank() == 0 {
+			fmt.Println("\ncommunication counters (reduced across ranks):")
+			for _, p := range reduced {
+				if p.Kind == obs.KindCounter && strings.HasPrefix(p.Name, "par.") {
+					fmt.Printf("  %-22s max %12.0f  sum %12.0f\n", p.Name, p.Max, p.Sum)
+				}
+			}
+		}
+
+		o.FlushMetrics() // land the counters next to the spans in the log
+	})
+
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	events, err := obs.ReadJSONL(logPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spans := 0
+	for _, e := range events {
+		if e.Kind == "span" {
+			spans++
+		}
+	}
+	fmt.Printf("\nevent log %s: %d events (%d spans)\n", logPath, len(events), spans)
+}

@@ -26,7 +26,9 @@ func main() {
 	//    assemble atmosphere + ocean + sea ice + land under the coupler.
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	par.Run(2, func(c *par.Comm) {
-		esm, err := core.New(cfg, c, start, start.Add(24*time.Hour), pp.NewHost(0))
+		esm, err := core.NewWithOptions(cfg, c,
+			core.WithInterval(start, start.Add(24*time.Hour)),
+			core.WithSpace(pp.NewHost(0)))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/coupler"
 	"repro/internal/grid"
 	"repro/internal/land"
+	"repro/internal/obs"
 	"repro/internal/ocean"
 	"repro/internal/par"
 	"repro/internal/pp"
@@ -41,17 +42,28 @@ type ESM struct {
 	sstGlobal []float64
 	iceGlobal []float64
 
-	timing *Timing
+	obs obs.Observer
 
 	couplingSteps int
 	ocnStepsPer   int
 }
 
 // New assembles the coupled model over the communicator for the simulated
-// interval [start, stop).
+// interval [start, stop). It is the positional wrapper over NewWithOptions
+// kept for existing call sites.
 func New(cfg Config, c *par.Comm, start, stop time.Time, sp pp.Space) (*ESM, error) {
-	if sp == nil {
-		sp = pp.Serial{}
+	return NewWithOptions(cfg, c, WithInterval(start, stop), WithSpace(sp))
+}
+
+// assemble builds the model from resolved options.
+func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
+	start, stop := opt.start, opt.stop
+	sp, ob := opt.sp, opt.obs
+	if _, disabled := ob.(obs.Nop); !disabled {
+		// Live instrumentation: the communicator forwards traffic counts and
+		// the execution space reports kernel launches to the same observer.
+		c.SetObserver(ob)
+		sp = pp.Instrument(sp, ob)
 	}
 	atm, err := atmos.New(cfg.AtmLevel, cfg.AtmNLev, cfg.AtmCfg, sp)
 	if err != nil {
@@ -108,9 +120,9 @@ func New(cfg Config, c *par.Comm, start, stop time.Time, sp pp.Space) (*ESM, err
 	e := &ESM{
 		Cfg: cfg, Comm: c,
 		Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd,
-		Rg:     NewRegridder(atm.Mesh, g),
-		Clock:  clk,
-		timing: newTiming(),
+		Rg:    NewRegridder(atm.Mesh, g),
+		Clock: clk,
+		obs:   ob,
 	}
 
 	// Ocean steps per ocean coupling interval.

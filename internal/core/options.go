@@ -1,0 +1,67 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pp"
+)
+
+// options collects the assembly parameters behind NewWithOptions.
+type options struct {
+	start, stop time.Time
+	sp          pp.Space
+	obs         obs.Observer
+}
+
+// Option configures model assembly.
+type Option func(*options)
+
+// WithInterval sets the simulated interval [start, stop).
+func WithInterval(start, stop time.Time) Option {
+	return func(o *options) { o.start, o.stop = start, stop }
+}
+
+// WithSpace selects the execution space the components run their kernels
+// on; nil selects Serial.
+func WithSpace(sp pp.Space) Option {
+	return func(o *options) { o.sp = sp }
+}
+
+// WithObserver attaches an observability handle: component steps become
+// spans on it, the communicator's traffic counters feed it, and the
+// execution space is wrapped with launch accounting. Pass obs.Nop{} to
+// disable instrumentation entirely; by default the model accumulates
+// timings in memory (no sink), preserving the classic TimingReport.
+func WithObserver(o obs.Observer) Option {
+	return func(opt *options) { opt.obs = o }
+}
+
+// defaultOptions mirrors the quickstart setup: one simulated day from the
+// repository's reference start date, Serial space, in-memory observer.
+func defaultOptions() options {
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+	return options{
+		start: start,
+		stop:  start.Add(24 * time.Hour),
+		sp:    pp.Serial{},
+	}
+}
+
+// NewWithOptions assembles the coupled model over the communicator with
+// functional options — the redesigned entry point; New remains as a
+// positional wrapper so call sites migrate incrementally.
+func NewWithOptions(cfg Config, c *par.Comm, opts ...Option) (*ESM, error) {
+	opt := defaultOptions()
+	for _, apply := range opts {
+		apply(&opt)
+	}
+	if opt.sp == nil {
+		opt.sp = pp.Serial{}
+	}
+	if opt.obs == nil {
+		opt.obs = obs.New(c.Rank(), nil)
+	}
+	return assemble(cfg, c, opt)
+}

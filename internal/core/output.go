@@ -67,5 +67,5 @@ func (e *ESM) WriteSnapshot(path string) error {
 		whole("atm.loncell", append([]float64(nil), m.Mesh.LonCell...))
 		whole("atm.latcell", append([]float64(nil), m.Mesh.LatCell...))
 	}
-	return pario.WriteSingle(e.Comm, path, fields)
+	return pario.WriteSingleTo(e.Comm, path, fields, e.obs)
 }

@@ -103,7 +103,7 @@ func (e *ESM) WriteRestart(dir string, nGroups int) error {
 			float64(o.Steps()),
 		})
 	}
-	return pario.WriteSubfiles(e.Comm, dir, nGroups, fields)
+	return pario.WriteSubfilesTo(e.Comm, dir, nGroups, fields, e.obs)
 }
 
 // ReadRestart loads a checkpoint written by WriteRestart into a freshly

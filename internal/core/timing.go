@@ -2,11 +2,10 @@ package core
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"time"
 
-	"repro/internal/par"
+	"repro/internal/obs"
 )
 
 // Component timing, the reproduction of the paper's measurement mechanism
@@ -14,29 +13,27 @@ import (
 // maximum across ranks reported to account for load imbalance, and a
 // getTiming-style summary that converts component and whole-model times to
 // SYPD.
+//
+// Since the obs layer landed, the timers themselves are obs spans; Timing
+// is a thin adapter kept so existing call sites read accumulated sections
+// the way the old accumulate-map did, and TimingReport is obs.Reduce
+// rendered in the getTiming format (byte-compatible with the original).
 
-// Timing accumulates per-section wall time.
+// Timing exposes per-section accumulated wall time, backed by the model's
+// observer.
 type Timing struct {
-	sections map[string]time.Duration
-	calls    map[string]int
+	o obs.Observer
 }
 
-func newTiming() *Timing {
-	return &Timing{
-		sections: make(map[string]time.Duration),
-		calls:    make(map[string]int),
-	}
-}
+// Timing returns the adapter over this model's observer.
+func (e *ESM) Timing() *Timing { return &Timing{o: e.obs} }
 
-// add records one timed call of a section.
-func (t *Timing) add(name string, d time.Duration) {
-	t.sections[name] += d
-	t.calls[name]++
-}
+// Observer returns the model's observability handle.
+func (e *ESM) Observer() obs.Observer { return e.obs }
 
 // Section returns the accumulated time and call count of a section.
 func (t *Timing) Section(name string) (time.Duration, int) {
-	return t.sections[name], t.calls[name]
+	return t.o.Section(name)
 }
 
 // TimingRow is one line of the getTiming-style report.
@@ -48,43 +45,31 @@ type TimingRow struct {
 	Fraction float64       // share of the total
 }
 
-// TimingReport reduces the timers across ranks (taking the maximum, as the
-// paper does to account for load imbalance) and renders the per-component
-// summary. Collective: every rank must call it; all ranks receive the rows.
+// TimingReport reduces the timers across ranks (taking the maximum of both
+// wall time and call count, as the paper does to account for load
+// imbalance) and renders the per-component summary. Collective: every rank
+// must call it; all ranks receive the rows.
 func (e *ESM) TimingReport() []TimingRow {
-	names := make([]string, 0, len(e.timing.sections))
-	for n := range e.timing.sections {
-		names = append(names, n)
-	}
-	// All ranks must iterate sections in the same order for the collective
-	// reduction; gather the union of names first.
-	allNames := par.Allgather(e.Comm, names)
-	set := map[string]bool{}
-	for _, list := range allNames {
-		for _, n := range list {
-			set[n] = true
+	var local []obs.Point
+	for _, p := range e.obs.Snapshot() {
+		if p.Kind == obs.KindSection {
+			local = append(local, p)
 		}
 	}
-	names = names[:0]
-	for n := range set {
-		names = append(names, n)
-	}
-	sort.Strings(names)
+	reduced := obs.Reduce(e.Comm, local)
 
 	simYears := e.SimulatedSeconds() / (365 * 86400)
 	var total time.Duration
-	rows := make([]TimingRow, 0, len(names))
-	for _, n := range names {
-		local, _ := e.timing.Section(n)
-		maxSec := e.Comm.Allreduce(local.Seconds(), par.OpMax)
+	rows := make([]TimingRow, 0, len(reduced))
+	for _, p := range reduced {
+		maxSec := p.Max
 		d := time.Duration(maxSec * float64(time.Second))
 		total += d
-		_, calls := e.timing.Section(n)
 		sypd := 0.0
 		if maxSec > 0 {
 			sypd = simYears / (maxSec / 86400)
 		}
-		rows = append(rows, TimingRow{Section: n, Calls: calls, MaxWall: d, SYPD: sypd})
+		rows = append(rows, TimingRow{Section: p.Name, Calls: int(p.MaxCount), MaxWall: d, SYPD: sypd})
 	}
 	for i := range rows {
 		if total > 0 {
@@ -105,9 +90,9 @@ func FormatTiming(rows []TimingRow) string {
 	return b.String()
 }
 
-// timed wraps one component invocation with its timer.
+// timed wraps one component invocation with its span.
 func (e *ESM) timed(name string, f func()) {
-	t0 := time.Now()
+	sp := e.obs.StartSpan(name)
 	f()
-	e.timing.add(name, time.Since(t0))
+	sp.End()
 }

@@ -33,12 +33,49 @@ func (m RearrangeMode) String() string {
 
 const rearrangeTag = 7100
 
+// Observer is the instrumentation hook consumed by the coupler — the
+// structural subset of obs.Observer it needs, declared locally to keep the
+// dependency order (obs sits above par, beside coupler).
+type Observer interface {
+	AddCount(name string, delta int64)
+	SetGauge(name string, v float64)
+}
+
 // Rearrange moves an attribute vector from the source decomposition to the
 // destination decomposition according to the router, using the selected
 // communication mode. src must have LSize == router.NSrc; the result has
 // LSize == router.NDst with the same fields. Both modes produce identical
 // results; the P2P mode is the optimized production path.
 func Rearrange(c *par.Comm, r *Router, src *AttrVect, mode RearrangeMode) (*AttrVect, error) {
+	return RearrangeTo(c, r, src, mode, nil)
+}
+
+// RearrangeTo is Rearrange reporting its exchange volume to an observer:
+// the number of non-empty pairwise messages this rank produced under the
+// selected mode and the payload bytes it packed — the §5.2.4
+// traffic-reduction accounting, recorded per call.
+func RearrangeTo(c *par.Comm, r *Router, src *AttrVect, mode RearrangeMode, o Observer) (*AttrVect, error) {
+	if o != nil {
+		var sentBytes, msgs int64
+		for _, offs := range r.SendTo {
+			if len(offs) == 0 {
+				continue
+			}
+			sentBytes += int64(8 * src.NFields() * len(offs))
+			msgs++
+		}
+		if mode == ModeAlltoall {
+			msgs = int64(c.Size()) // the collective touches every pair slot
+		}
+		o.AddCount("coupler.rearrange.calls", 1)
+		o.AddCount("coupler.rearrange.bytes", sentBytes)
+		o.AddCount("coupler.rearrange.msgs", msgs)
+	}
+	return rearrange(c, r, src, mode)
+}
+
+// rearrange is the communication body shared by both entry points.
+func rearrange(c *par.Comm, r *Router, src *AttrVect, mode RearrangeMode) (*AttrVect, error) {
 	if src.LSize != r.NSrc {
 		return nil, fmt.Errorf("coupler: rearrange source size %d, router expects %d", src.LSize, r.NSrc)
 	}

@@ -131,6 +131,26 @@ func BuildRouterOffline(src, dst *GSMap, nprocs int) ([]*Router, error) {
 	return routers, nil
 }
 
+// Record publishes the router plan's footprint and shape as gauges under
+// the given metric prefix ("<prefix>.bytes", "<prefix>.nsrc",
+// "<prefix>.ndst", "<prefix>.peers") — the aggregation-size accounting the
+// offline-preprocessing discussion of §5.2.4 measures.
+func (r *Router) Record(o Observer, prefix string) {
+	if o == nil {
+		return
+	}
+	peers := 0
+	for _, s := range r.SendTo {
+		if len(s) > 0 {
+			peers++
+		}
+	}
+	o.SetGauge(prefix+".bytes", float64(r.Bytes()))
+	o.SetGauge(prefix+".nsrc", float64(r.NSrc))
+	o.SetGauge(prefix+".ndst", float64(r.NDst))
+	o.SetGauge(prefix+".peers", float64(peers))
+}
+
 // Bytes returns the router's table footprint.
 func (r *Router) Bytes() int {
 	n := 0

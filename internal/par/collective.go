@@ -24,6 +24,11 @@ var (
 
 // Bcast distributes root's value to all ranks and returns it.
 func Bcast[T any](c *Comm, root int, v T) T {
+	if c.rank == root {
+		c.countCollective("bcast", any(v))
+	} else {
+		c.countCollective("bcast", nil)
+	}
 	all := c.exchange(any(v))
 	out, ok := all[root].(T)
 	if !ok {
@@ -35,6 +40,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // Allreduce reduces one float64 per rank with op and returns the result on
 // every rank. Reduction order is fixed by rank, so results are deterministic.
 func (c *Comm) Allreduce(v float64, op Op) float64 {
+	c.countCollective("allreduce", v)
 	all := c.exchange(v)
 	acc := all[0].(float64)
 	for _, x := range all[1:] {
@@ -46,6 +52,7 @@ func (c *Comm) Allreduce(v float64, op Op) float64 {
 // AllreduceSlice element-wise reduces equal-length slices across ranks.
 // The returned slice is freshly allocated on every rank.
 func (c *Comm) AllreduceSlice(v []float64, op Op) []float64 {
+	c.countCollective("allreduce", v)
 	all := c.exchange(v)
 	first := all[0].([]float64)
 	out := make([]float64, len(first))
@@ -64,6 +71,7 @@ func (c *Comm) AllreduceSlice(v []float64, op Op) []float64 {
 
 // AllreduceInt reduces one int per rank with integer addition.
 func (c *Comm) AllreduceInt(v int) int {
+	c.countCollective("allreduce", v)
 	all := c.exchange(v)
 	sum := 0
 	for _, x := range all {
@@ -74,6 +82,7 @@ func (c *Comm) AllreduceInt(v int) int {
 
 // Gather collects one value per rank at root; non-root ranks receive nil.
 func Gather[T any](c *Comm, root int, v T) []T {
+	c.countCollective("gather", any(v))
 	all := c.exchange(any(v))
 	if c.rank != root {
 		return nil
@@ -87,6 +96,7 @@ func Gather[T any](c *Comm, root int, v T) []T {
 
 // Allgather collects one value per rank on every rank, ordered by rank.
 func Allgather[T any](c *Comm, v T) []T {
+	c.countCollective("allgather", any(v))
 	all := c.exchange(any(v))
 	out := make([]T, len(all))
 	for i, x := range all {
@@ -105,6 +115,7 @@ func Scatter[T any](c *Comm, root int, vals []T) T {
 		}
 		payload = vals
 	}
+	c.countCollective("scatter", payload)
 	all := c.exchange(payload)
 	rv := all[root].([]T)
 	return rv[c.rank]
@@ -116,6 +127,7 @@ func Alltoall[T any](c *Comm, send []T) []T {
 	if len(send) != c.state.size {
 		panic(fmt.Sprintf("par: Alltoall needs %d values, got %d", c.state.size, len(send)))
 	}
+	c.countCollective("alltoall", any(send))
 	all := c.exchange(any(send))
 	out := make([]T, c.state.size)
 	for src, x := range all {
@@ -136,6 +148,7 @@ func (c *Comm) AlltoallvF64(send [][]float64) [][]float64 {
 // rank r receives sum of values from ranks 0..r-1 (0 on rank 0). Used for
 // global offset computation in I/O and GSMap construction.
 func (c *Comm) ExclusiveScanInt(v int) int {
+	c.countCollective("scan", v)
 	all := c.exchange(v)
 	sum := 0
 	for r := 0; r < c.rank; r++ {

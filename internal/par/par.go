@@ -134,6 +134,8 @@ func newCommState(size int, id string) *commState {
 type Comm struct {
 	state *commState
 	rank  int
+	stats *CommStats
+	obs   Observer
 }
 
 // Rank returns the calling rank within the communicator.
@@ -161,7 +163,7 @@ func Run(n int, body func(c *Comm)) {
 					panics[rank] = p
 				}
 			}()
-			body(&Comm{state: cs, rank: rank})
+			body(&Comm{state: cs, rank: rank, stats: &CommStats{}})
 		}(r)
 	}
 	wg.Wait()
@@ -180,6 +182,7 @@ func Send[T any](c *Comm, dst int, tag int, data T) {
 	if dst < 0 || dst >= c.state.size {
 		panic(fmt.Sprintf("par: Send to invalid rank %d (size %d)", dst, c.state.size))
 	}
+	c.countSend(data)
 	c.state.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
 }
 
@@ -187,6 +190,7 @@ func Send[T any](c *Comm, dst int, tag int, data T) {
 // returns its payload. src may be AnySource and tag may be AnyTag.
 func Recv[T any](c *Comm, src int, tag int) (T, Status) {
 	m := c.state.boxes[c.rank].take(src, tag)
+	c.countRecv(m.data)
 	v, ok := m.data.(T)
 	if !ok {
 		panic(fmt.Sprintf("par: Recv type mismatch from rank %d tag %d: got %T", m.src, m.tag, m.data))
@@ -216,6 +220,7 @@ func (c *Comm) Probe(src, tag int) (Status, bool) {
 
 // Barrier blocks until all ranks of the communicator have entered it.
 func (c *Comm) Barrier() {
+	c.stats.Barriers.Add(1)
 	cs := c.state
 	cs.bmu.Lock()
 	gen := cs.bgen
@@ -328,7 +333,9 @@ func (c *Comm) Split(color, key int) *Comm {
 	}
 	var out *Comm
 	if color >= 0 {
-		out = &Comm{state: g.result[color], rank: g.ranks[color][c.rank]}
+		// The product communicator carries fresh counters and inherits the
+		// parent's observer.
+		out = &Comm{state: g.result[color], rank: g.ranks[color][c.rank], stats: &CommStats{}, obs: c.obs}
 	}
 	g.done--
 	if g.done == 0 {

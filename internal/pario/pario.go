@@ -170,16 +170,61 @@ func readFile(path string) (map[string]int, map[string][]chunk, error) {
 
 const ioTag = 8200
 
+// Observer is the instrumentation hook consumed by the I/O layer — the
+// structural subset of obs.Observer it needs, declared locally so pario
+// does not import obs.
+type Observer interface {
+	AddCount(name string, delta int64)
+	SetGauge(name string, v float64)
+}
+
+// recordLocal counts this rank's contribution to a write: field count and
+// flattened data bytes under the given path prefix.
+func recordLocal(o Observer, prefix string, fields []Field) {
+	if o == nil {
+		return
+	}
+	var bytes int64
+	for _, f := range fields {
+		bytes += int64(8 * len(f.Data))
+	}
+	o.AddCount(prefix+".calls", 1)
+	o.AddCount(prefix+".fields", int64(len(fields)))
+	o.AddCount(prefix+".bytes", bytes)
+}
+
+// recordAggregate counts the volume funnelled through an aggregating
+// leader (rank 0 of the write communicator).
+func recordAggregate(o Observer, prefix string, chunks map[string][]chunk) {
+	if o == nil {
+		return
+	}
+	var bytes int64
+	for _, cs := range chunks {
+		for _, c := range cs {
+			bytes += int64(8 * len(c.Data))
+		}
+	}
+	o.AddCount(prefix+".aggregated_bytes", bytes)
+}
+
 // WriteSingle is the baseline path: every rank sends its chunks to rank 0,
 // which writes one file. Returns only on rank 0 errors; other ranks always
 // return nil after sending.
 func WriteSingle(c *par.Comm, path string, fields []Field) error {
+	return WriteSingleTo(c, path, fields, nil)
+}
+
+// WriteSingleTo is WriteSingle reporting aggregation sizes to an observer
+// ("pario.single.*" counters).
+func WriteSingleTo(c *par.Comm, path string, fields []Field, o Observer) error {
 	type payload struct {
 		Name   string
 		Global int
 		Start  int
 		Data   []float64
 	}
+	recordLocal(o, "pario.single", fields)
 	var mine []payload
 	for _, fd := range fields {
 		mine = append(mine, payload{fd.Name, fd.Global, fd.Start, fd.Data})
@@ -196,6 +241,7 @@ func WriteSingle(c *par.Comm, path string, fields []Field) error {
 			chunks[p.Name] = append(chunks[p.Name], chunk{Start: p.Start, Data: p.Data})
 		}
 	}
+	recordAggregate(o, "pario.single", chunks)
 	return writeFile(path, global, chunks)
 }
 
@@ -203,11 +249,22 @@ func WriteSingle(c *par.Comm, path string, fields []Field) error {
 // groups; each group's leader aggregates the group's chunks and writes
 // dir/part-<g>.bin. All leaders write concurrently.
 func WriteSubfiles(c *par.Comm, dir string, nGroups int, fields []Field) error {
+	return WriteSubfilesTo(c, dir, nGroups, fields, nil)
+}
+
+// WriteSubfilesTo is WriteSubfiles reporting aggregation sizes to an
+// observer ("pario.subfile.*" counters plus the group fan-in gauges).
+func WriteSubfilesTo(c *par.Comm, dir string, nGroups int, fields []Field, o Observer) error {
 	if nGroups < 1 || nGroups > c.Size() {
 		return fmt.Errorf("pario: %d groups for %d ranks", nGroups, c.Size())
 	}
 	group := c.Rank() * nGroups / c.Size()
 	sub := c.Split(group, c.Rank())
+	recordLocal(o, "pario.subfile", fields)
+	if o != nil {
+		o.SetGauge("pario.subfile.groups", float64(nGroups))
+		o.SetGauge("pario.subfile.group_ranks", float64(sub.Size()))
+	}
 
 	type payload struct {
 		Name   string
@@ -232,6 +289,7 @@ func WriteSubfiles(c *par.Comm, dir string, nGroups int, fields []Field) error {
 			chunks[p.Name] = append(chunks[p.Name], chunk{Start: p.Start, Data: p.Data})
 		}
 	}
+	recordAggregate(o, "pario.subfile", chunks)
 	err := writeFile(filepath.Join(dir, fmt.Sprintf("part-%d.bin", group)), global, chunks)
 	c.Barrier()
 	return err

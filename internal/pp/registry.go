@@ -21,6 +21,15 @@ type Registry struct {
 	byHash  map[uint64]Kernel
 	nameOf  map[uint64]string
 	launces map[uint64]int
+	obs     Observer
+}
+
+// SetObserver forwards per-kernel launch counts to o under
+// "pp.kernel.<name>". A nil observer disables forwarding.
+func (r *Registry) SetObserver(o Observer) {
+	r.mu.Lock()
+	r.obs = o
+	r.mu.Unlock()
 }
 
 // NewRegistry returns an empty kernel registry.
@@ -77,7 +86,11 @@ func (r *Registry) Launch(h uint64, s Space, args any) error {
 	}
 	r.mu.Lock()
 	r.launces[h]++
+	obs, name := r.obs, r.nameOf[h]
 	r.mu.Unlock()
+	if obs != nil {
+		obs.AddCount("pp.kernel."+name, 1)
+	}
 	k(s, args)
 	return nil
 }

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Full local gate, equivalent to `make check`: vet, build, race-enabled
+# tests, and the short SYPD benchmark writing BENCH_1.json at the repo root.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet"
+go vet ./...
+echo "== go build"
+go build ./...
+echo "== go test -race"
+go test -race ./...
+echo "== bench1"
+go run ./cmd/bench1 -out BENCH_1.json
