@@ -1,9 +1,11 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
-# race-enabled tests, and the short SYPD benchmark (BENCH_1.json).
+# race-enabled tests, the restart-decoder fuzz smoke, and the short SYPD
+# benchmark (BENCH_1.json).
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: all build vet test race check bench clean
+.PHONY: all build vet test race fuzz check bench clean
 
 all: check
 
@@ -19,10 +21,13 @@ test:
 race:
 	$(GO) test -race ./...
 
+fuzz:
+	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
+
 bench:
 	$(GO) run ./cmd/bench1 -out BENCH_1.json
 
-check: vet build race bench
+check: vet build race fuzz bench
 
 clean:
 	rm -f BENCH_1.json

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/pp"
@@ -28,6 +29,11 @@ func main() {
 	backend := flag.String("backend", "Serial", "execution space: Serial, Host, CPE")
 	mixed := flag.Bool("mixed", false, "run the dynamical cores in FP64/FP32 group-scaled mixed precision")
 	obsSpec := flag.String("obs", "off", "observability sink: off, mem, jsonl:PATH, prom:ADDR")
+	faults := flag.String("faults", "", "fault plan, e.g. 'io-error@pario.write:2;nan@esm.step:21' (see internal/fault)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for the fault plan's RNG (bit/tear placement)")
+	ckEvery := flag.Int("checkpoint-every", 0, "checkpoint every N coupling steps and auto-recover from faults (0 = off)")
+	ckDir := flag.String("restart-dir", "restart", "restart-set directory for -checkpoint-every")
+	maxRetries := flag.Int("max-retries", 3, "consecutive failed recoveries before giving up")
 	flag.Parse()
 
 	cfg, err := core.ConfigForLabel(*label)
@@ -50,6 +56,16 @@ func main() {
 		fmt.Printf("serving metrics at http://%s/metrics\n", ps.Addr())
 	}
 
+	plan, err := fault.Parse(*faults, *faultSeed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if plan != nil {
+		fault.Arm(plan)
+		defer fault.Disarm()
+		fmt.Printf("armed fault plan: %s\n", plan)
+	}
+
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	stop := start.Add(time.Duration(*days*24) * time.Hour)
 
@@ -64,26 +80,52 @@ func main() {
 			handle = obs.New(c.Rank(), sink)
 			observer = handle
 		}
-		e, err := core.NewWithOptions(cfg, c,
-			core.WithInterval(start, stop),
-			core.WithSpace(sp),
-			core.WithObserver(observer))
+		if plan != nil && c.Rank() == 0 && handle != nil {
+			plan.SetObserver(handle) // fault.injected.* counters on rank 0's stream
+		}
+		mk := func() (*core.ESM, error) {
+			return core.NewWithOptions(cfg, c,
+				core.WithInterval(start, stop),
+				core.WithSpace(sp),
+				core.WithObserver(observer))
+		}
+		e, err := mk()
 		if err != nil {
 			log.Fatal(err)
 		}
 		wall := time.Now()
 		daysRun := 0.0
-		for e.Step() {
+		if *ckEvery > 0 {
+			// Resilient path: the supervisor checkpoints every N coupling
+			// steps and rolls back on health or checkpoint failures.
+			var rep *core.ResilientReport
+			e, rep, err = core.RunResilient(mk, core.ResilientConfig{
+				Days: *days, CheckpointEvery: *ckEvery, MaxRetries: *maxRetries,
+				Dir: *ckDir, NGroups: 1,
+			})
+			if c.Rank() == 0 {
+				for _, ev := range rep.Recoveries {
+					fmt.Printf("  recovery: step %d (%s), attempt %d, resumed from step %d\n",
+						ev.Step, ev.Reason, ev.Attempt, ev.Resumed)
+				}
+			}
+			if err != nil {
+				log.Fatal(err)
+			}
 			daysRun = e.SimulatedSeconds() / 86400
-			if e.CouplingSteps()%45 == 0 {
-				// The ocean/ice diagnostics reduce across ranks, so every
-				// rank computes them; rank 0 prints.
-				minPs, _ := e.Atm.MinPs()
-				ke := e.Ocn.SurfaceKineticEnergy()
-				iceArea := e.Ice.IceArea()
-				if c.Rank() == 0 {
-					fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
-						daysRun, e.Atm.MaxWind(), minPs, ke, iceArea)
+		} else {
+			for e.Step() {
+				daysRun = e.SimulatedSeconds() / 86400
+				if e.CouplingSteps()%45 == 0 {
+					// The ocean/ice diagnostics reduce across ranks, so every
+					// rank computes them; rank 0 prints.
+					minPs, _ := e.Atm.MinPs()
+					ke := e.Ocn.SurfaceKineticEnergy()
+					iceArea := e.Ice.IceArea()
+					if c.Rank() == 0 {
+						fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
+							daysRun, e.Atm.MaxWind(), minPs, ke, iceArea)
+					}
 				}
 			}
 		}

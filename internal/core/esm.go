@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/atmos"
 	"repro/internal/coupler"
+	"repro/internal/fault"
 	"repro/internal/grid"
 	"repro/internal/land"
 	"repro/internal/obs"
@@ -194,6 +195,11 @@ func (e *ESM) Step() bool {
 		}
 	}
 	e.couplingSteps++
+	if f := fault.Point("esm.step", e.Comm.Rank()); f != nil && f.Kind == fault.NaN {
+		// Silent data corruption in a coupled prognostic field — the failure
+		// mode the per-step health guardrails exist to catch.
+		e.Ocn.T[e.ocnIdx2(0, 0)] = math.NaN()
+	}
 	return true
 }
 

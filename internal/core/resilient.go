@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Resilient driving (§5.2.5's restart path promoted to a supervisor): at
+// km-scale the production runs hold ~100k nodes for days, so the
+// mean-time-between-failure is shorter than a run and the driver — not the
+// operator — must detect faults, roll back to the last good checkpoint, and
+// continue. RunResilient is that supervisor for the miniature machine:
+// checkpoints at coupling boundaries, per-step physics health guardrails,
+// and rollback with exponential backoff, all reported through obs
+// ("recovery.*" counters next to the fault plan's "fault.injected.*").
+
+// ResilientConfig parameterizes RunResilient.
+type ResilientConfig struct {
+	Days            float64       // simulated days to complete
+	CheckpointEvery int           // coupling steps between checkpoints (≥ 1)
+	MaxRetries      int           // consecutive failed recoveries before giving up
+	Dir             string        // restart-set directory (the good set lives here)
+	NGroups         int           // pario subfile groups (default 1)
+	Backoff         time.Duration // base backoff, doubled per consecutive failure (default 10ms)
+}
+
+// RecoveryEvent records one detected fault and the rollback that answered it.
+type RecoveryEvent struct {
+	Step    int    // coupling step at which the fault was detected
+	Reason  string // what failed
+	Attempt int    // consecutive attempt number (resets on a good checkpoint)
+	Resumed int    // coupling step resumed from (0 = rebuilt initial state, -1 = gave up)
+}
+
+// ResilientReport summarizes a resilient run.
+type ResilientReport struct {
+	Steps       int // coupling steps completed
+	Checkpoints int // successful checkpoint commits
+	Recoveries  []RecoveryEvent
+}
+
+// RunResilient integrates rc.Days simulated days, surviving faults. mk must
+// build a fresh ESM in its initial state (including any seeding); it is
+// called once up front and once per rollback, because ReadRestart requires a
+// freshly constructed model. Collective: every rank runs the same loop and
+// the health/checkpoint verdicts are allreduced, so all ranks roll back
+// together. Returns the final model and the recovery report; err is non-nil
+// only when MaxRetries consecutive recoveries failed or a rebuild failed.
+func RunResilient(mk func() (*ESM, error), rc ResilientConfig) (*ESM, *ResilientReport, error) {
+	if rc.CheckpointEvery < 1 {
+		return nil, nil, fmt.Errorf("core: RunResilient needs CheckpointEvery ≥ 1, got %d", rc.CheckpointEvery)
+	}
+	if rc.Dir == "" {
+		return nil, nil, fmt.Errorf("core: RunResilient needs a restart directory")
+	}
+	if rc.NGroups < 1 {
+		rc.NGroups = 1
+	}
+	if rc.Backoff <= 0 {
+		rc.Backoff = 10 * time.Millisecond
+	}
+	e, err := mk()
+	if err != nil {
+		return nil, nil, err
+	}
+	target := int(rc.Days * float64(e.Cfg.AtmCouplingsPerDay))
+	rep := &ResilientReport{}
+	goodStep := -1 // step of the last committed checkpoint; -1 = none yet
+	attempt := 0
+	for e.CouplingSteps() < target {
+		done, err := e.stepChecked()
+		if done {
+			// The clock interval ended before the step target — e.g. a
+			// coupling period that does not divide the requested days. That
+			// is completion, not a fault.
+			break
+		}
+		if err == nil && e.CouplingSteps()%rc.CheckpointEvery == 0 {
+			if cerr := e.WriteRestart(rc.Dir, rc.NGroups); cerr != nil {
+				err = fmt.Errorf("checkpoint at step %d: %w", e.CouplingSteps(), cerr)
+			} else {
+				goodStep = e.CouplingSteps()
+				rep.Checkpoints++
+				attempt = 0
+			}
+		}
+		if err == nil {
+			continue
+		}
+		attempt++
+		ev := RecoveryEvent{Step: e.CouplingSteps(), Reason: err.Error(), Attempt: attempt}
+		e.obs.AddCount("recovery.rollbacks", 1)
+		if attempt > rc.MaxRetries {
+			ev.Resumed = -1
+			rep.Recoveries = append(rep.Recoveries, ev)
+			e.obs.AddCount("recovery.giveups", 1)
+			return e, rep, fmt.Errorf("core: giving up after %d recovery attempts: %w", attempt, err)
+		}
+		// Exponential backoff before retrying, the transient-fault spacing.
+		shift := attempt - 1
+		if shift > 6 {
+			shift = 6
+		}
+		time.Sleep(rc.Backoff << shift)
+		fresh, rerr := rollback(mk, rc, &goodStep, e)
+		if rerr != nil {
+			ev.Resumed = -1
+			rep.Recoveries = append(rep.Recoveries, ev)
+			return e, rep, rerr
+		}
+		// Record Resumed only after rollback has settled where we actually
+		// resumed from: a corrupt checkpoint resets goodStep to scratch.
+		ev.Resumed = maxInt(goodStep, 0)
+		rep.Recoveries = append(rep.Recoveries, ev)
+		e = fresh
+	}
+	rep.Steps = e.CouplingSteps()
+	e.obs.SetGauge("recovery.completed_steps", float64(rep.Steps))
+	return e, rep, nil
+}
+
+// rollback rebuilds the model at the last good checkpoint. A checkpoint that
+// no longer loads (e.g. an injected bit-flip caught by the v2 checksums) is
+// discarded and the run restarts from the initial state.
+func rollback(mk func() (*ESM, error), rc ResilientConfig, goodStep *int, prev *ESM) (*ESM, error) {
+	fresh, err := mk()
+	if err != nil {
+		return nil, fmt.Errorf("core: rebuilding model for rollback: %w", err)
+	}
+	if *goodStep < 0 {
+		prev.obs.AddCount("recovery.restarts_from_scratch", 1)
+		return fresh, nil
+	}
+	if rerr := fresh.ReadRestart(rc.Dir, rc.NGroups); rerr != nil {
+		// ReadRestart may have partially populated the model: rebuild again
+		// and fall back to the initial state.
+		prev.obs.AddCount("recovery.checkpoint_corrupt", 1)
+		*goodStep = -1
+		fresh, err = mk()
+		if err != nil {
+			return nil, fmt.Errorf("core: rebuilding model after corrupt checkpoint: %w", err)
+		}
+		return fresh, nil
+	}
+	prev.obs.AddCount("recovery.restores", 1)
+	return fresh, nil
+}
+
+// stepChecked advances one coupling interval, converting panics to errors
+// and validating physics health afterward. done reports that the clock
+// interval is exhausted (normal end of run). Collective.
+func (e *ESM) stepChecked() (done bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			done, err = false, fmt.Errorf("core: step %d panicked: %v", e.couplingSteps+1, p)
+		}
+	}()
+	if !e.Step() {
+		return true, nil
+	}
+	return false, e.Health()
+}
+
+// Health validates the physics guardrails at a coupling boundary: every
+// prognostic field finite, surface pressure and ice concentration inside
+// physical bounds, and CFL-style wind/current limits, per component. The
+// verdict is allreduced so every rank agrees (collective); the distributed
+// ocean/ice blocks would otherwise let ranks diverge on whether to roll
+// back.
+func (e *ESM) Health() error {
+	local := e.healthLocal()
+	bad := 0.0
+	if local != nil {
+		bad = 1
+	}
+	if e.Comm.Allreduce(bad, par.OpMax) != 0 {
+		if local != nil {
+			return local
+		}
+		return fmt.Errorf("core: health check failed on another rank at step %d", e.couplingSteps)
+	}
+	return nil
+}
+
+// Physics guardrails. The bounds are generous — they exist to catch NaN/Inf
+// propagation and runaway instability, not to police climate.
+const (
+	healthMinPs   = 3.0e4  // Pa; deeper than any recorded cyclone
+	healthMaxPs   = 1.2e5  // Pa
+	healthMaxWind = 250.0  // m/s; CFL guardrail for the atmosphere dycore
+	healthMaxCur  = 25.0   // m/s; CFL guardrail for the ocean
+	healthMaxEta  = 100.0  // m of sea surface height
+	healthMaxTemp = 1000.0 // K, atmosphere; runaway detector
+)
+
+func (e *ESM) healthLocal() error {
+	step := e.couplingSteps
+	finite := func(comp, field string, vals []float64) error {
+		for i, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("core: %s health: %s[%d] = %v at step %d", comp, field, i, v, step)
+			}
+		}
+		return nil
+	}
+	m := e.Atm
+	for _, f := range []struct {
+		name string
+		vals []float64
+	}{{"ps", m.Ps}, {"t", m.T}, {"qv", m.Qv}, {"u", m.U}} {
+		if err := finite("atm", f.name, f.vals); err != nil {
+			return err
+		}
+	}
+	for i, v := range m.Ps {
+		if v < healthMinPs || v > healthMaxPs {
+			return fmt.Errorf("core: atm health: ps[%d] = %.0f Pa outside [%g, %g] at step %d",
+				i, v, healthMinPs, healthMaxPs, step)
+		}
+	}
+	for i, v := range m.T {
+		if v <= 0 || v > healthMaxTemp {
+			return fmt.Errorf("core: atm health: t[%d] = %g K at step %d", i, v, step)
+		}
+	}
+	if w := m.MaxWind(); w > healthMaxWind {
+		return fmt.Errorf("core: atm health: max wind %.1f m/s beyond the %g CFL guardrail at step %d",
+			w, healthMaxWind, step)
+	}
+	o := e.Ocn
+	for _, f := range []struct {
+		name string
+		vals []float64
+	}{{"u", o.U}, {"v", o.V}, {"t", o.T}, {"s", o.S}, {"eta", o.Eta}} {
+		if err := finite("ocn", f.name, f.vals); err != nil {
+			return err
+		}
+	}
+	for i, v := range o.Eta {
+		if v < -healthMaxEta || v > healthMaxEta {
+			return fmt.Errorf("core: ocn health: eta[%d] = %.1f m at step %d", i, v, step)
+		}
+	}
+	for i, v := range o.U {
+		if v < -healthMaxCur || v > healthMaxCur {
+			return fmt.Errorf("core: ocn health: u[%d] = %.1f m/s beyond the %g CFL guardrail at step %d",
+				i, v, healthMaxCur, step)
+		}
+	}
+	ice := e.Ice
+	if err := finite("ice", "conc", ice.Conc); err != nil {
+		return err
+	}
+	for i, v := range ice.Conc {
+		if v < -1e-9 || v > 1+1e-9 {
+			return fmt.Errorf("core: ice health: conc[%d] = %g outside [0, 1] at step %d", i, v, step)
+		}
+	}
+	if err := finite("ice", "thick", ice.Thick); err != nil {
+		return err
+	}
+	if err := finite("lnd", "tsoil", e.Lnd.TSoil); err != nil {
+		return err
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/par"
+	"repro/internal/pp"
+	"repro/internal/typhoon"
+)
+
+func resilientStart() time.Time { return time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC) }
+
+func mkESM(t *testing.T, c *par.Comm) func() (*ESM, error) {
+	t.Helper()
+	cfg, err := ConfigForLabel("25v10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := resilientStart()
+	return func() (*ESM, error) {
+		e, err := New(cfg, c, start, start.Add(24*time.Hour), pp.Serial{})
+		if err != nil {
+			return nil, err
+		}
+		typhoon.Seed(e.Atm, typhoon.DoksuriSeed())
+		return e, nil
+	}
+}
+
+func readSet(t *testing.T, dir string, nGroups int) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for g := 0; g < nGroups; g++ {
+		name := filepath.Join(dir, "part-"+string(rune('0'+g))+".bin")
+		b, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[filepath.Base(name)] = b
+	}
+	return out
+}
+
+// The acceptance property: with a seeded plan injecting a checkpoint I/O
+// error and a mid-run NaN, RunResilient completes the run and its final
+// restart set is byte-identical to a fault-free run's.
+func TestRunResilientRecoversBitForBit(t *testing.T) {
+	const steps = 30
+	days := float64(steps) / 180 // 180 atm couplings per simulated day
+
+	// Fault-free reference.
+	refDir := t.TempDir()
+	par.Run(1, func(c *par.Comm) {
+		e, err := mkESM(t, c)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			e.Step()
+		}
+		if err := e.WriteRestart(refDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Faulted resilient run: the 2nd checkpoint write fails with an I/O
+	// error, and a NaN lands in the ocean temperature at the 21st step call.
+	plan, err := fault.Parse("io-error@pario.write:2;nan@esm.step:21", 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	gotDir := t.TempDir()
+	par.Run(1, func(c *par.Comm) {
+		e, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: days, CheckpointEvery: 8, MaxRetries: 5,
+			Dir: ckDir, Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("resilient run failed: %v (recoveries %+v)", err, rep.Recoveries)
+		}
+		if rep.Steps != steps {
+			t.Fatalf("completed %d steps, want %d", rep.Steps, steps)
+		}
+		if len(rep.Recoveries) != 2 {
+			t.Fatalf("expected 2 recoveries, got %+v", rep.Recoveries)
+		}
+		if rep.Recoveries[0].Resumed != 8 || rep.Recoveries[1].Resumed != 8 {
+			t.Errorf("recoveries resumed from %+v, want step 8", rep.Recoveries)
+		}
+		fault.Disarm() // the final write below must be clean
+		if err := e.WriteRestart(gotDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if c := plan.Counts(); c[fault.IOError] != 1 || c[fault.NaN] != 1 {
+		t.Errorf("fault counts %v", c)
+	}
+
+	ref, got := readSet(t, refDir, 1), readSet(t, gotDir, 1)
+	for name := range ref {
+		if string(ref[name]) != string(got[name]) {
+			t.Fatalf("%s differs from the fault-free run (not bit-identical)", name)
+		}
+	}
+}
+
+// A bit-flipped checkpoint must be caught by the v2 checksums at restore
+// time and answered by falling back to the initial state — still finishing
+// bit-for-bit.
+func TestRunResilientSurvivesCorruptCheckpoint(t *testing.T) {
+	const steps = 20
+	days := float64(steps) / 180
+
+	refDir := t.TempDir()
+	par.Run(1, func(c *par.Comm) {
+		e, _ := mkESM(t, c)()
+		for i := 0; i < steps; i++ {
+			e.Step()
+		}
+		if err := e.WriteRestart(refDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// The very first checkpoint is written with a flipped bit; the NaN at
+	// step 12 then forces a rollback onto that corrupt set.
+	plan, err := fault.Parse("bitflip@pario.write:1;nan@esm.step:12", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	gotDir := t.TempDir()
+	par.Run(1, func(c *par.Comm) {
+		e, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: days, CheckpointEvery: 8, MaxRetries: 5,
+			Dir: ckDir, Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("resilient run failed: %v (recoveries %+v)", err, rep.Recoveries)
+		}
+		if len(rep.Recoveries) == 0 || rep.Recoveries[0].Resumed != 0 {
+			t.Fatalf("expected a restart from scratch, got %+v", rep.Recoveries)
+		}
+		fault.Disarm()
+		if err := e.WriteRestart(gotDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ref, got := readSet(t, refDir, 1), readSet(t, gotDir, 1)
+	for name := range ref {
+		if string(ref[name]) != string(got[name]) {
+			t.Fatalf("%s differs from the fault-free run after corrupt-checkpoint fallback", name)
+		}
+	}
+}
+
+// Two ranks: the collective agreement paths — a checkpoint I/O error on the
+// single group leader must roll back BOTH ranks, and the run still matches a
+// fault-free 2-rank run.
+func TestRunResilientTwoRanks(t *testing.T) {
+	const steps = 16
+	days := float64(steps) / 180
+
+	refDir := t.TempDir()
+	par.Run(2, func(c *par.Comm) {
+		e, err := mkESM(t, c)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < steps; i++ {
+			e.Step()
+		}
+		if err := e.WriteRestart(refDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	plan, err := fault.Parse("io-error@pario.write:2", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	gotDir := t.TempDir()
+	par.Run(2, func(c *par.Comm) {
+		e, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: days, CheckpointEvery: 6, MaxRetries: 3,
+			Dir: ckDir, Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatalf("rank %d: %v", c.Rank(), err)
+		}
+		if len(rep.Recoveries) != 1 {
+			t.Fatalf("rank %d: recoveries %+v", c.Rank(), rep.Recoveries)
+		}
+		if c.Rank() == 0 {
+			fault.Disarm()
+		}
+		c.Barrier()
+		if err := e.WriteRestart(gotDir, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	ref, got := readSet(t, refDir, 1), readSet(t, gotDir, 1)
+	for name := range ref {
+		if string(ref[name]) != string(got[name]) {
+			t.Fatalf("%s differs from the fault-free 2-rank run", name)
+		}
+	}
+}
+
+// When every retry hits the same fault, the driver gives up after
+// MaxRetries instead of looping forever.
+func TestRunResilientGivesUp(t *testing.T) {
+	plan, err := fault.New(1, fault.Injection{
+		Kind: fault.NaN, Site: "esm.step", Hit: 1, Rank: fault.AnyRank, Repeat: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+	par.Run(1, func(c *par.Comm) {
+		_, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: 0.1, CheckpointEvery: 4, MaxRetries: 2,
+			Dir: filepath.Join(t.TempDir(), "ck"), Backoff: time.Millisecond,
+		})
+		if err == nil {
+			t.Fatal("permanent fault not surfaced")
+		}
+		if len(rep.Recoveries) != 3 {
+			t.Errorf("recoveries %+v, want MaxRetries+1 = 3", rep.Recoveries)
+		}
+	})
+}
+
+// Health catches each guardrail class with a per-component message.
+func TestHealthGuardrails(t *testing.T) {
+	par.Run(1, func(c *par.Comm) {
+		mk := mkESM(t, c)
+		cases := []struct {
+			name   string
+			poke   func(e *ESM)
+			within string
+		}{
+			{"clean", func(e *ESM) {}, ""},
+			{"atm nan", func(e *ESM) { e.Atm.T[0] = math.NaN() }, "atm health"},
+			{"atm pressure", func(e *ESM) { e.Atm.Ps[0] = 1e3 }, "atm health"},
+			{"ocn nan", func(e *ESM) { e.Ocn.T[0] = math.NaN() }, "ocn health"},
+			{"ocn current", func(e *ESM) { e.Ocn.U[0] = 80 }, "CFL guardrail"},
+			{"ice conc", func(e *ESM) { e.Ice.Conc[0] = 2.5 }, "ice health"},
+		}
+		for _, tc := range cases {
+			e, err := mk()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tc.poke(e)
+			err = e.Health()
+			if tc.within == "" {
+				if err != nil {
+					t.Errorf("%s: %v", tc.name, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("%s: not detected", tc.name)
+			} else if !strings.Contains(err.Error(), tc.within) {
+				t.Errorf("%s: error %q lacks %q", tc.name, err, tc.within)
+			}
+		}
+	})
+}

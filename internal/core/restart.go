@@ -3,8 +3,10 @@ package core
 import (
 	"fmt"
 	"math"
+	"os"
 	"time"
 
+	"repro/internal/par"
 	"repro/internal/pario"
 )
 
@@ -21,7 +23,85 @@ const metaField = "meta"
 // WriteRestart checkpoints the full coupled state into dir as nGroups
 // binary subfiles. It must be called at a coupling boundary (between Step
 // calls), which is the only time the driver is quiescent.
+//
+// The write is atomic end-to-end: subfiles land in a staging directory that
+// is swapped into place only after every writer group has succeeded, so a
+// crash or injected I/O error mid-checkpoint never clobbers the previous
+// good restart set. Collective: all ranks participate and agree on the
+// outcome.
 func (e *ESM) WriteRestart(dir string, nGroups int) error {
+	fields := e.restartFields()
+	staging := dir + ".staging"
+	var prep error
+	if e.Comm.Rank() == 0 {
+		os.RemoveAll(staging)
+		prep = os.MkdirAll(staging, 0o755)
+	}
+	e.Comm.Barrier()
+
+	werr := prep
+	if werr == nil {
+		werr = pario.WriteSubfilesTo(e.Comm, staging, nGroups, fields, e.obs)
+	}
+	// Collective agreement: the swap happens only if every group leader
+	// succeeded, and every rank reports the same verdict.
+	bad := 0.0
+	if werr != nil {
+		bad = 1
+	}
+	if e.Comm.Allreduce(bad, par.OpMax) != 0 {
+		if e.Comm.Rank() == 0 {
+			os.RemoveAll(staging)
+		}
+		e.Comm.Barrier()
+		if werr != nil {
+			return werr
+		}
+		return fmt.Errorf("core: checkpoint to %s failed on another rank", dir)
+	}
+	var cerr error
+	if e.Comm.Rank() == 0 {
+		cerr = commitRestartSet(staging, dir)
+	}
+	bad = 0
+	if cerr != nil {
+		bad = 1
+	}
+	if e.Comm.Allreduce(bad, par.OpMax) != 0 {
+		if cerr != nil {
+			return cerr
+		}
+		return fmt.Errorf("core: checkpoint commit to %s failed on rank 0", dir)
+	}
+	if e.obs != nil {
+		e.obs.AddCount("restart.checkpoints", 1)
+	}
+	return nil
+}
+
+// commitRestartSet swaps a fully-written staging directory into place. The
+// previous set is parked at dir+".old" for the instant between the two
+// renames and restored on failure, so no crash point leaves the final name
+// holding a partial set.
+func commitRestartSet(staging, dir string) error {
+	old := dir + ".old"
+	os.RemoveAll(old)
+	if _, err := os.Stat(dir); err == nil {
+		if err := os.Rename(dir, old); err != nil {
+			return fmt.Errorf("core: parking previous restart set: %w", err)
+		}
+	}
+	if err := os.Rename(staging, dir); err != nil {
+		os.Rename(old, dir) // best-effort restore of the previous set
+		return fmt.Errorf("core: committing restart set: %w", err)
+	}
+	os.RemoveAll(old)
+	return nil
+}
+
+// restartFields flattens the coupled state into pario fields: distributed
+// ocean/ice rows from every rank, replicated atmosphere/land from rank 0.
+func (e *ESM) restartFields() []pario.Field {
 	var fields []pario.Field
 
 	// --- Distributed ocean and ice fields, one chunk per local row ---
@@ -103,7 +183,7 @@ func (e *ESM) WriteRestart(dir string, nGroups int) error {
 			float64(o.Steps()),
 		})
 	}
-	return pario.WriteSubfilesTo(e.Comm, dir, nGroups, fields, e.obs)
+	return fields
 }
 
 // ReadRestart loads a checkpoint written by WriteRestart into a freshly
@@ -149,7 +229,6 @@ func (e *ESM) ReadRestart(dir string, nGroups int) error {
 		{"atm.taux", m.TauX}, {"atm.tauy", m.TauY},
 		{"atm.shf", m.SHF}, {"atm.lhf", m.LHF},
 		{"lnd.tsoil", e.Lnd.TSoil}, {"lnd.bucket", e.Lnd.Bucket},
-		{"sfc.sstglobal", e.sstGlobal}, {"sfc.iceglobal", e.iceGlobal},
 	} {
 		f, err := need(spec.name)
 		if err != nil {
@@ -159,6 +238,25 @@ func (e *ESM) ReadRestart(dir string, nGroups int) error {
 			return fmt.Errorf("core: restart field %q has %d values, want %d", spec.name, len(f), len(spec.dst))
 		}
 		copy(spec.dst, f)
+	}
+	// The surface caches are Bcast-shared across the rank goroutines (one
+	// backing array for all ranks), so restoring them in place would race
+	// when every rank reads the checkpoint; each rank installs a private
+	// copy instead, and the next coupling Bcast re-shares them.
+	for _, spec := range []struct {
+		name string
+		dst  *[]float64
+	}{
+		{"sfc.sstglobal", &e.sstGlobal}, {"sfc.iceglobal", &e.iceGlobal},
+	} {
+		f, err := need(spec.name)
+		if err != nil {
+			return err
+		}
+		if len(f) != len(*spec.dst) {
+			return fmt.Errorf("core: restart field %q has %d values, want %d", spec.name, len(f), len(*spec.dst))
+		}
+		*spec.dst = append([]float64(nil), f...)
 	}
 	edge, eok := global["atm.fluxedge"]
 	dps, dok := global["atm.fluxdps"]

@@ -23,6 +23,9 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
+
+	"repro/internal/fault"
 )
 
 // AnyTag matches any message tag in Recv.
@@ -73,6 +76,35 @@ func (mb *mailbox) take(src, tag int) message {
 	}
 }
 
+// takeTimeout is take with a deadline; ok reports whether a matching message
+// arrived in time. The deadline wakeup rides the same condition variable as
+// deliveries, so the cost is one timer per wait iteration and nothing on the
+// delivery path.
+func (mb *mailbox) takeTimeout(src, tag int, d time.Duration) (message, bool) {
+	deadline := time.Now().Add(d)
+	mb.mu.Lock()
+	defer mb.mu.Unlock()
+	for {
+		for i, m := range mb.queue {
+			if (src == AnySource || m.src == src) && (tag == AnyTag || m.tag == tag) {
+				mb.queue = append(mb.queue[:i], mb.queue[i+1:]...)
+				return m, true
+			}
+		}
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			return message{}, false
+		}
+		t := time.AfterFunc(rem, func() {
+			mb.mu.Lock()
+			mb.cond.Broadcast()
+			mb.mu.Unlock()
+		})
+		mb.cond.Wait()
+		t.Stop()
+	}
+}
+
 // tryTake is the non-blocking variant of take; ok reports whether a matching
 // message was found.
 func (mb *mailbox) tryTake(src, tag int) (message, bool) {
@@ -111,6 +143,48 @@ type commState struct {
 	splitMu sync.Mutex
 	splits  map[string]*commState
 	gathers map[string]*splitGather
+
+	// who-waits registry: every blocking operation announces itself here so
+	// a timed-out rank can dump which ranks wait on whom instead of leaving
+	// a silent deadlock (the stall-detection diagnostic).
+	wmu     sync.Mutex
+	waiting map[int]string
+}
+
+func (cs *commState) setWaiting(rank int, desc string) {
+	cs.wmu.Lock()
+	cs.waiting[rank] = desc
+	cs.wmu.Unlock()
+}
+
+func (cs *commState) clearWaiting(rank int) {
+	cs.wmu.Lock()
+	delete(cs.waiting, rank)
+	cs.wmu.Unlock()
+}
+
+// WhoWaits formats the communicator's blocked ranks, one "rank N: op" line
+// per waiter, sorted by rank — the diagnostic attached to TimeoutError.
+func (cs *commState) whoWaits() string {
+	cs.wmu.Lock()
+	ranks := make([]int, 0, len(cs.waiting))
+	for r := range cs.waiting {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	lines := make([]string, 0, len(ranks))
+	for _, r := range ranks {
+		lines = append(lines, fmt.Sprintf("rank %d: %s", r, cs.waiting[r]))
+	}
+	cs.wmu.Unlock()
+	if len(lines) == 0 {
+		return "no ranks blocked on " + cs.id
+	}
+	out := lines[0]
+	for _, l := range lines[1:] {
+		out += "; " + l
+	}
+	return out
 }
 
 func newCommState(size int, id string) *commState {
@@ -121,6 +195,7 @@ func newCommState(size int, id string) *commState {
 		id:      id,
 		splits:  make(map[string]*commState),
 		gathers: make(map[string]*splitGather),
+		waiting: make(map[int]string),
 	}
 	for i := range cs.boxes {
 		cs.boxes[i] = newMailbox()
@@ -183,13 +258,24 @@ func Send[T any](c *Comm, dst int, tag int, data T) {
 		panic(fmt.Sprintf("par: Send to invalid rank %d (size %d)", dst, c.state.size))
 	}
 	c.countSend(data)
+	if f := fault.Point("par.send", c.rank); f != nil && f.Kind == fault.Stall {
+		// The message is lost in flight — the interconnect failure whose only
+		// remedy on the receiving side is a deadline (RecvTimeout).
+		f.Sleep()
+		if c.obs != nil {
+			c.obs.AddCount("par.send.dropped", 1)
+		}
+		return
+	}
 	c.state.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
 }
 
 // Recv blocks until a message from src with the given tag arrives and
 // returns its payload. src may be AnySource and tag may be AnyTag.
 func Recv[T any](c *Comm, src int, tag int) (T, Status) {
+	c.state.setWaiting(c.rank, fmt.Sprintf("Recv(src=%d, tag=%d)", src, tag))
 	m := c.state.boxes[c.rank].take(src, tag)
+	c.state.clearWaiting(c.rank)
 	c.countRecv(m.data)
 	v, ok := m.data.(T)
 	if !ok {
@@ -222,6 +308,8 @@ func (c *Comm) Probe(src, tag int) (Status, bool) {
 func (c *Comm) Barrier() {
 	c.stats.Barriers.Add(1)
 	cs := c.state
+	cs.setWaiting(c.rank, "Barrier")
+	defer cs.clearWaiting(c.rank)
 	cs.bmu.Lock()
 	gen := cs.bgen
 	cs.bcnt++
@@ -243,6 +331,8 @@ func (c *Comm) Barrier() {
 // primitive under the collectives.
 func (c *Comm) exchange(v any) []any {
 	cs := c.state
+	cs.setWaiting(c.rank, "collective exchange")
+	defer cs.clearWaiting(c.rank)
 	cs.smu.Lock()
 	gen := cs.sgen
 	cs.slots[c.rank] = v

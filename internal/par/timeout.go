@@ -1,0 +1,109 @@
+package par
+
+import (
+	"fmt"
+	"time"
+)
+
+// Deadline support: a lost message (dead rank, dropped packet) must surface
+// as an error carrying a who-waits-on-whom diagnostic, not as a silent
+// deadlock. RecvTimeout and BarrierTimeout are the deadline-carrying
+// variants of the blocking primitives; on expiry they withdraw cleanly,
+// snapshot the communicator's blocked ranks, and count the event on the
+// observer ("par.timeout.*").
+
+// TimeoutError reports a blocking operation that expired. WhoWaits is the
+// communicator-wide stall diagnostic at expiry time.
+type TimeoutError struct {
+	Op       string        // the operation that expired, e.g. "Recv(src=1, tag=8200)"
+	Comm     string        // communicator id
+	Rank     int           // the rank that timed out
+	Waited   time.Duration // the deadline that elapsed
+	WhoWaits string        // blocked ranks at expiry, "rank N: op; ..."
+}
+
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("par: %s on rank %d of %s timed out after %v [%s]",
+		e.Op, e.Rank, e.Comm, e.Waited, e.WhoWaits)
+}
+
+func (c *Comm) timeout(op string, d time.Duration, counter string) *TimeoutError {
+	if c.obs != nil {
+		c.obs.AddCount(counter, 1)
+		c.obs.AddCount("par.timeout.total", 1)
+	}
+	return &TimeoutError{
+		Op:       op,
+		Comm:     c.state.id,
+		Rank:     c.rank,
+		Waited:   d,
+		WhoWaits: c.state.whoWaits(),
+	}
+}
+
+// RecvTimeout is Recv with a deadline: it blocks until a message from src
+// with the given tag arrives or d elapses, whichever is first. On expiry the
+// returned *TimeoutError carries the who-waits diagnostic; the mailbox is
+// left untouched, so a late message remains receivable.
+func RecvTimeout[T any](c *Comm, src int, tag int, d time.Duration) (T, Status, error) {
+	op := fmt.Sprintf("RecvTimeout(src=%d, tag=%d)", src, tag)
+	c.state.setWaiting(c.rank, op)
+	m, ok := c.state.boxes[c.rank].takeTimeout(src, tag, d)
+	if !ok {
+		// Leave the registration in place long enough to appear in our own
+		// diagnostic, then withdraw.
+		err := c.timeout(op, d, "par.timeout.recv")
+		c.state.clearWaiting(c.rank)
+		var zero T
+		return zero, Status{}, err
+	}
+	c.state.clearWaiting(c.rank)
+	c.countRecv(m.data)
+	v, cast := m.data.(T)
+	if !cast {
+		panic(fmt.Sprintf("par: RecvTimeout type mismatch from rank %d tag %d: got %T", m.src, m.tag, m.data))
+	}
+	return v, Status{Source: m.src, Tag: m.tag}, nil
+}
+
+// BarrierTimeout enters the barrier but gives up after d, withdrawing its
+// entry so the barrier generation stays consistent for the ranks still
+// inside. A timeout means the collective was abandoned on this rank; the
+// caller must treat the whole synchronization as failed (the other ranks
+// remain blocked until they time out or the driver tears the world down) —
+// the point is a diagnosable error instead of an eternal hang.
+func (c *Comm) BarrierTimeout(d time.Duration) error {
+	c.stats.Barriers.Add(1)
+	cs := c.state
+	op := fmt.Sprintf("BarrierTimeout(%v)", d)
+	cs.setWaiting(c.rank, op)
+	defer cs.clearWaiting(c.rank)
+	deadline := time.Now().Add(d)
+	cs.bmu.Lock()
+	gen := cs.bgen
+	cs.bcnt++
+	if cs.bcnt == cs.size {
+		cs.bcnt = 0
+		cs.bgen++
+		cs.bcond.Broadcast()
+		cs.bmu.Unlock()
+		return nil
+	}
+	for gen == cs.bgen {
+		rem := time.Until(deadline)
+		if rem <= 0 {
+			cs.bcnt-- // withdraw so a later barrier is not satisfied early
+			cs.bmu.Unlock()
+			return c.timeout(op, d, "par.timeout.barrier")
+		}
+		t := time.AfterFunc(rem, func() {
+			cs.bmu.Lock()
+			cs.bcond.Broadcast()
+			cs.bmu.Unlock()
+		})
+		cs.bcond.Wait()
+		t.Stop()
+	}
+	cs.bmu.Unlock()
+	return nil
+}

@@ -1,0 +1,126 @@
+package par
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+)
+
+// The headline stall property: a receive whose message never comes must
+// expire with a who-waits diagnostic, never deadlock.
+func TestRecvTimeoutFiresOnStall(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() != 0 {
+			return // rank 1 is the dead rank: it never sends
+		}
+		_, _, err := RecvTimeout[[]float64](c, 1, 7, 50*time.Millisecond)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("stalled receive returned %v", err)
+		}
+		if te.Rank != 0 || te.Waited != 50*time.Millisecond {
+			t.Errorf("timeout detail %+v", te)
+		}
+		if !strings.Contains(te.WhoWaits, "rank 0: RecvTimeout(src=1, tag=7)") {
+			t.Errorf("diagnostic %q does not name the blocked rank", te.WhoWaits)
+		}
+	})
+}
+
+func TestRecvTimeoutDeliversLateMessage(t *testing.T) {
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			time.Sleep(20 * time.Millisecond)
+			Send(c, 0, 3, []float64{1, 2, 3})
+			return
+		}
+		v, st, err := RecvTimeout[[]float64](c, 1, 3, 2*time.Second)
+		if err != nil {
+			t.Fatalf("in-deadline message lost: %v", err)
+		}
+		if st.Source != 1 || len(v) != 3 {
+			t.Errorf("got %v from %+v", v, st)
+		}
+	})
+}
+
+// An injected send stall (lost message) is caught by the receive deadline,
+// and the diagnostic shows every rank blocked at expiry.
+func TestInjectedStallDetected(t *testing.T) {
+	plan, err := fault.New(1, fault.Injection{Kind: fault.Stall, Site: "par.send", Hit: 1, Rank: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+	Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			Send(c, 0, 9, []float64{4, 5}) // dropped by the armed plan
+			Recv[bool](c, 0, 10)           // wait for rank 0 to observe the loss
+			Send(c, 0, 9, []float64{6, 7}) // the retry goes through
+			return
+		}
+		// The message was lost in flight: the deadline fires; a retry sent
+		// after detection is still receivable.
+		_, _, err := RecvTimeout[[]float64](c, 1, 9, 40*time.Millisecond)
+		var te *TimeoutError
+		if !errors.As(err, &te) {
+			t.Fatalf("lost message not detected: %v", err)
+		}
+		Send(c, 1, 10, true)
+		v, _, err := RecvTimeout[[]float64](c, 1, 9, 2*time.Second)
+		if err != nil || v[0] != 6 {
+			t.Fatalf("retry lost: %v %v", v, err)
+		}
+	})
+	if c := plan.Counts(); c[fault.Stall] != 1 {
+		t.Errorf("stall fired %d times", c[fault.Stall])
+	}
+}
+
+func TestBarrierTimeout(t *testing.T) {
+	Run(3, func(c *Comm) {
+		switch c.Rank() {
+		case 2:
+			// The straggler never arrives.
+		default:
+			err := c.BarrierTimeout(40 * time.Millisecond)
+			var te *TimeoutError
+			if !errors.As(err, &te) {
+				t.Fatalf("rank %d: abandoned barrier returned %v", c.Rank(), err)
+			}
+			if !strings.Contains(te.WhoWaits, "BarrierTimeout") {
+				t.Errorf("diagnostic %q", te.WhoWaits)
+			}
+		}
+	})
+}
+
+func TestBarrierTimeoutCompletes(t *testing.T) {
+	Run(4, func(c *Comm) {
+		time.Sleep(time.Duration(c.Rank()) * 5 * time.Millisecond)
+		if err := c.BarrierTimeout(5 * time.Second); err != nil {
+			t.Errorf("rank %d: %v", c.Rank(), err)
+		}
+		// The synchronization still works as a barrier afterwards.
+		c.Barrier()
+	})
+}
+
+type timeoutObs struct{ counts map[string]int64 }
+
+func (o *timeoutObs) AddCount(name string, d int64) { o.counts[name] += d }
+
+func TestTimeoutCounters(t *testing.T) {
+	o := &timeoutObs{counts: make(map[string]int64)}
+	Run(1, func(c *Comm) {
+		c.SetObserver(o)
+		RecvTimeout[int](c, 0, 1, time.Millisecond)
+	})
+	if o.counts["par.timeout.recv"] != 1 || o.counts["par.timeout.total"] != 1 {
+		t.Errorf("counters %v", o.counts)
+	}
+}

@@ -1,0 +1,47 @@
+package pario
+
+import (
+	"testing"
+)
+
+// FuzzReadSubfile drives the v1/v2 decoder with arbitrary bytes: it must
+// never panic or allocate past its guardrails, and anything it accepts must
+// satisfy the format's own invariants.
+func FuzzReadSubfile(f *testing.F) {
+	global := map[string]int{"temp": 8, "salt": 4}
+	chunks := map[string][]chunk{
+		"temp": {{Start: 0, Data: []float64{0, 1, 2, 3}}, {Start: 4, Data: []float64{4, 5, 6, 7}}},
+		"salt": {{Start: 0, Data: []float64{1, 2, 3, 4}}},
+	}
+	v1 := encodeFile(global, chunks, 1)
+	v2 := encodeFile(global, chunks, 2)
+	f.Add(v1)
+	f.Add(v2)
+	f.Add(v2[:len(v2)/2])
+	f.Add(v2[:12])
+	f.Add([]byte("not a restart"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, cs, err := decodeFile(data)
+		if err != nil {
+			return
+		}
+		// Accepted images must be internally consistent.
+		for name, list := range cs {
+			glob, ok := g[name]
+			if !ok {
+				t.Fatalf("chunks for undeclared field %q", name)
+			}
+			if glob > maxGlobalElems {
+				t.Fatalf("field %q accepted with global size %d", name, glob)
+			}
+			for _, c := range list {
+				if c.Start < 0 || c.Start+len(c.Data) > glob {
+					t.Fatalf("field %q chunk [%d,%d) outside global size %d",
+						name, c.Start, c.Start+len(c.Data), glob)
+				}
+			}
+		}
+	})
+}

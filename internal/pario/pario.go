@@ -9,24 +9,57 @@
 //
 // The format is a simple self-describing binary layout (the paper likewise
 // switches to a raw binary format to cut I/O volume and metadata pressure).
+// Format v2 hardens it for the fault-tolerance layer: every field carries a
+// CRC32C over its encoded bytes, the file ends in a checksummed trailer that
+// detects truncation, and subfiles are written to a temporary name and
+// atomically renamed into place. v1 files remain readable. Malformed input
+// of either version yields typed errors (ErrCorrupt, ErrTruncated) instead
+// of panics or unbounded allocations.
 package pario
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
 
+	"repro/internal/fault"
 	"repro/internal/par"
 )
 
 // Magic identifies AP3ESM reproduction restart files.
 const Magic = 0x41503352 // "AP3R"
 
-// Version is the current format version.
-const Version = 1
+// Version is the current format version (v2: per-field CRC32C + trailer).
+const Version = 2
+
+// TrailerMagic opens the v2 end-of-file trailer.
+const TrailerMagic = 0x41503354 // "AP3T"
+
+// Decoder guardrails: a field name, a declared global size, or a chunk that
+// exceeds these is corrupt by definition, which bounds what a hostile or
+// truncated file can make the reader allocate.
+const (
+	maxNameLen     = 4096
+	maxGlobalElems = 1 << 24 // 16M elements (128 MiB) per field, far above any runnable config
+)
+
+// Typed decode errors. Wrapped errors carry file/offset detail; match with
+// errors.Is.
+var (
+	// ErrCorrupt reports bytes that cannot be a well-formed file of any
+	// supported version: bad magic, checksum mismatch, or impossible sizes.
+	ErrCorrupt = errors.New("corrupt restart data")
+	// ErrTruncated reports a file that ends before its own declared
+	// structure does — the torn-write signature.
+	ErrTruncated = errors.New("truncated restart data")
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // Field is one named local chunk of a global 1-D-indexed variable
 // (multidimensional fields are flattened by the caller; the format only
@@ -43,127 +76,242 @@ type chunk struct {
 	Data  []float64
 }
 
-// writeFile writes one subfile holding, for every field, a sorted set of
-// chunks.
-func writeFile(path string, global map[string]int, chunks map[string][]chunk) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("pario: %w", err)
-	}
-	defer f.Close()
-
+// encodeFile renders one subfile in the given format version. v2 appends a
+// CRC32C after each field's encoded bytes and a (magic, payload length,
+// CRC32C) trailer over the whole payload. Field names and chunks are sorted,
+// so the encoding is deterministic: identical state yields identical bytes.
+func encodeFile(global map[string]int, chunks map[string][]chunk, version int) []byte {
 	names := make([]string, 0, len(chunks))
 	for n := range chunks {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 
-	w := func(v any) error { return binary.Write(f, binary.LittleEndian, v) }
-	if err := w(uint32(Magic)); err != nil {
-		return err
-	}
-	if err := w(uint32(Version)); err != nil {
-		return err
-	}
-	if err := w(uint32(len(names))); err != nil {
-		return err
-	}
+	var buf []byte
+	u32 := func(v uint32) { buf = binary.LittleEndian.AppendUint32(buf, v) }
+	u64 := func(v uint64) { buf = binary.LittleEndian.AppendUint64(buf, v) }
+	u32(Magic)
+	u32(uint32(version))
+	u32(uint32(len(names)))
 	for _, name := range names {
-		if err := w(uint32(len(name))); err != nil {
-			return err
-		}
-		if _, err := f.Write([]byte(name)); err != nil {
-			return err
-		}
-		if err := w(uint64(global[name])); err != nil {
-			return err
-		}
+		fieldStart := len(buf)
+		u32(uint32(len(name)))
+		buf = append(buf, name...)
+		u64(uint64(global[name]))
 		cs := chunks[name]
 		sort.Slice(cs, func(i, j int) bool { return cs[i].Start < cs[j].Start })
-		if err := w(uint32(len(cs))); err != nil {
-			return err
-		}
+		u32(uint32(len(cs)))
 		for _, c := range cs {
-			if err := w(uint64(c.Start)); err != nil {
-				return err
-			}
-			if err := w(uint64(len(c.Data))); err != nil {
-				return err
-			}
-			if err := w(c.Data); err != nil {
-				return err
+			u64(uint64(c.Start))
+			u64(uint64(len(c.Data)))
+			for _, v := range c.Data {
+				u64(math.Float64bits(v))
 			}
 		}
+		if version >= 2 {
+			u32(crc32.Checksum(buf[fieldStart:], crcTable))
+		}
+	}
+	if version >= 2 {
+		payload := len(buf)
+		u32(TrailerMagic)
+		u64(uint64(payload))
+		u32(crc32.Checksum(buf[:payload], crcTable))
+	}
+	return buf
+}
+
+// writeFile writes one subfile holding, for every field, a sorted set of
+// chunks. The bytes land in a temporary sibling that is atomically renamed
+// into place, so a crash mid-write never leaves a partial file under the
+// final name. The "pario.write" fault site covers the whole operation:
+// io-error fails it, torn and bitflip corrupt the bytes that reach disk
+// (which the v2 checksums then catch on read).
+func writeFile(path string, global map[string]int, chunks map[string][]chunk) error {
+	data := encodeFile(global, chunks, Version)
+	if f := fault.Point("pario.write", fault.AnyRank); f != nil {
+		if f.Kind == fault.IOError {
+			return fmt.Errorf("pario: writing %s: %w", path, f.Error())
+		}
+		data = f.Corrupt(data)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("pario: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("pario: %w", err)
 	}
 	return nil
 }
 
-// readFile parses one subfile.
-func readFile(path string) (map[string]int, map[string][]chunk, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, nil, fmt.Errorf("pario: %w", err)
-	}
-	defer f.Close()
+// byteReader walks an in-memory file image with explicit bounds checks;
+// running past the end is ErrTruncated, never a panic.
+type byteReader struct {
+	data []byte
+	off  int
+}
 
-	r := func(v any) error { return binary.Read(f, binary.LittleEndian, v) }
-	var magic, version, nfields uint32
-	if err := r(&magic); err != nil {
-		return nil, nil, fmt.Errorf("pario: reading %s: %w", path, err)
+func (r *byteReader) remaining() int { return len(r.data) - r.off }
+
+func (r *byteReader) need(n int, what string) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, fmt.Errorf("pario: %s at offset %d needs %d bytes, %d left: %w",
+			what, r.off, n, r.remaining(), ErrTruncated)
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *byteReader) u32(what string) (uint32, error) {
+	b, err := r.need(4, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *byteReader) u64(what string) (uint64, error) {
+	b, err := r.need(8, what)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(b), nil
+}
+
+// decodeFile parses a v1 or v2 subfile image. Every structural quantity is
+// validated against the bytes actually present before any allocation, so a
+// corrupt or truncated image costs O(len(data)) and returns ErrCorrupt or
+// ErrTruncated rather than panicking or over-allocating.
+func decodeFile(data []byte) (map[string]int, map[string][]chunk, error) {
+	r := &byteReader{data: data}
+	magic, err := r.u32("magic")
+	if err != nil {
+		return nil, nil, err
 	}
 	if magic != Magic {
-		return nil, nil, fmt.Errorf("pario: %s is not an AP3R file (magic %#x)", path, magic)
+		return nil, nil, fmt.Errorf("pario: not an AP3R file (magic %#x): %w", magic, ErrCorrupt)
 	}
-	if err := r(&version); err != nil {
+	version, err := r.u32("version")
+	if err != nil {
 		return nil, nil, err
 	}
-	if version != Version {
-		return nil, nil, fmt.Errorf("pario: %s has version %d, want %d", path, version, Version)
+	if version != 1 && version != 2 {
+		return nil, nil, fmt.Errorf("pario: unsupported version %d: %w", version, ErrCorrupt)
 	}
-	if err := r(&nfields); err != nil {
+	if version >= 2 {
+		// Validate the trailer before trusting any interior structure: it is
+		// the cheap whole-file truncation and corruption detector.
+		const trailerLen = 4 + 8 + 4
+		if len(data) < trailerLen {
+			return nil, nil, fmt.Errorf("pario: %d bytes cannot hold a v2 trailer: %w", len(data), ErrTruncated)
+		}
+		t := &byteReader{data: data, off: len(data) - trailerLen}
+		tmagic, _ := t.u32("trailer magic")
+		plen, _ := t.u64("trailer length")
+		fcrc, _ := t.u32("trailer crc")
+		payload := len(data) - trailerLen
+		if tmagic != TrailerMagic || plen != uint64(payload) {
+			return nil, nil, fmt.Errorf("pario: trailer missing or displaced (magic %#x, declared %d vs %d payload bytes): %w",
+				tmagic, plen, payload, ErrTruncated)
+		}
+		if got := crc32.Checksum(data[:payload], crcTable); got != fcrc {
+			return nil, nil, fmt.Errorf("pario: file checksum %#x, trailer says %#x: %w", got, fcrc, ErrCorrupt)
+		}
+		r.data = data[:payload] // fields must not read into the trailer
+	}
+	nfields, err := r.u32("field count")
+	if err != nil {
 		return nil, nil, err
+	}
+	// Each field needs at least a name length, a global size, and a chunk
+	// count — reject counts the remaining bytes cannot possibly hold.
+	if int64(nfields) > int64(r.remaining())/16+1 {
+		return nil, nil, fmt.Errorf("pario: %d fields declared in %d bytes: %w", nfields, r.remaining(), ErrCorrupt)
 	}
 	global := make(map[string]int)
 	chunks := make(map[string][]chunk)
 	for i := uint32(0); i < nfields; i++ {
-		var nameLen uint32
-		if err := r(&nameLen); err != nil {
+		fieldStart := r.off
+		nameLen, err := r.u32("name length")
+		if err != nil {
 			return nil, nil, err
 		}
-		if nameLen > 4096 {
-			return nil, nil, fmt.Errorf("pario: corrupt name length %d", nameLen)
+		if nameLen > maxNameLen {
+			return nil, nil, fmt.Errorf("pario: field name of %d bytes: %w", nameLen, ErrCorrupt)
 		}
-		nameBuf := make([]byte, nameLen)
-		if _, err := f.Read(nameBuf); err != nil {
+		nameBuf, err := r.need(int(nameLen), "field name")
+		if err != nil {
 			return nil, nil, err
 		}
 		name := string(nameBuf)
-		var glob uint64
-		if err := r(&glob); err != nil {
+		glob, err := r.u64("global size")
+		if err != nil {
 			return nil, nil, err
+		}
+		if glob > maxGlobalElems {
+			return nil, nil, fmt.Errorf("pario: field %q declares %d global elements: %w", name, glob, ErrCorrupt)
+		}
+		nchunks, err := r.u32("chunk count")
+		if err != nil {
+			return nil, nil, err
+		}
+		if int64(nchunks) > int64(r.remaining())/16+1 {
+			return nil, nil, fmt.Errorf("pario: %d chunks declared in %d bytes: %w", nchunks, r.remaining(), ErrCorrupt)
+		}
+		if _, dup := global[name]; dup {
+			return nil, nil, fmt.Errorf("pario: field %q appears twice: %w", name, ErrCorrupt)
 		}
 		global[name] = int(glob)
-		var nchunks uint32
-		if err := r(&nchunks); err != nil {
-			return nil, nil, err
+		for ci := uint32(0); ci < nchunks; ci++ {
+			start, err := r.u64("chunk start")
+			if err != nil {
+				return nil, nil, err
+			}
+			length, err := r.u64("chunk length")
+			if err != nil {
+				return nil, nil, err
+			}
+			if length > glob || start > glob || start+length > glob {
+				return nil, nil, fmt.Errorf("pario: field %q chunk [%d,%d) outside global size %d: %w",
+					name, start, start+length, glob, ErrCorrupt)
+			}
+			raw, err := r.need(int(length)*8, "chunk data")
+			if err != nil {
+				return nil, nil, err
+			}
+			vals := make([]float64, length)
+			for j := range vals {
+				vals[j] = math.Float64frombits(binary.LittleEndian.Uint64(raw[8*j:]))
+			}
+			chunks[name] = append(chunks[name], chunk{Start: int(start), Data: vals})
 		}
-		for cidx := uint32(0); cidx < nchunks; cidx++ {
-			var start, length uint64
-			if err := r(&start); err != nil {
+		if version >= 2 {
+			fieldCRC := crc32.Checksum(r.data[fieldStart:r.off], crcTable)
+			stored, err := r.u32("field crc")
+			if err != nil {
 				return nil, nil, err
 			}
-			if err := r(&length); err != nil {
-				return nil, nil, err
+			if stored != fieldCRC {
+				return nil, nil, fmt.Errorf("pario: field %q checksum %#x, stored %#x: %w",
+					name, fieldCRC, stored, ErrCorrupt)
 			}
-			if length > uint64(glob) {
-				return nil, nil, fmt.Errorf("pario: corrupt chunk length %d", length)
-			}
-			data := make([]float64, length)
-			if err := r(data); err != nil {
-				return nil, nil, err
-			}
-			chunks[name] = append(chunks[name], chunk{Start: int(start), Data: data})
 		}
+	}
+	return global, chunks, nil
+}
+
+// readFile parses one subfile from disk.
+func readFile(path string) (map[string]int, map[string][]chunk, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("pario: %w", err)
+	}
+	global, chunks, err := decodeFile(data)
+	if err != nil {
+		return nil, nil, fmt.Errorf("%w (file %s)", err, path)
 	}
 	return global, chunks, nil
 }

@@ -1,8 +1,11 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
-# tests, and the short SYPD benchmark writing BENCH_1.json at the repo root.
+# tests, a short fuzz of the restart-file decoder, and the short SYPD
+# benchmark writing BENCH_1.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
+
+FUZZTIME="${FUZZTIME:-10s}"
 
 echo "== go vet"
 go vet ./...
@@ -10,5 +13,7 @@ echo "== go build"
 go build ./...
 echo "== go test -race"
 go test -race ./...
+echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
+go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
 echo "== bench1"
 go run ./cmd/bench1 -out BENCH_1.json
