@@ -1,11 +1,12 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
-# race-enabled tests, the restart-decoder fuzz smoke, and the short SYPD
-# benchmark (BENCH_1.json).
+# race-enabled tests (including the concurrent-schedule stress lap), the
+# restart-decoder fuzz smoke, and the two benchmarks (BENCH_1.json,
+# BENCH_2.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race fuzz check bench clean
+.PHONY: all build vet test race race-conc fuzz check bench bench2 clean
 
 all: check
 
@@ -21,13 +22,19 @@ test:
 race:
 	$(GO) test -race ./...
 
+race-conc:
+	$(GO) test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) run ./cmd/bench1 -out BENCH_1.json
 
-check: vet build race fuzz bench
+bench2:
+	$(GO) run ./cmd/bench2 -out BENCH_2.json
+
+check: vet build race race-conc fuzz bench bench2
 
 clean:
-	rm -f BENCH_1.json
+	rm -f BENCH_1.json BENCH_2.json

@@ -1,0 +1,285 @@
+// Command bench2 measures what this round of optimization bought: the
+// coupled steps/sec of the concurrent component schedule against the
+// sequential one at the bench1 configuration, the steady-state allocation
+// counts of the coupling hot path (rearranger and ocean step), and the
+// measured atmosphere–ocean overlap fraction. It writes the result as
+// BENCH_2.json next to bench1's BENCH_1.json baseline and validates its
+// own output file before exiting.
+//
+//	bench2 [-config 25v10] [-ranks 2] [-steps 45] [-out BENCH_2.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/coupler"
+	"repro/internal/grid"
+	"repro/internal/obs"
+	"repro/internal/ocean"
+	"repro/internal/par"
+	"repro/internal/pp"
+)
+
+// result is the benchmark record: one schedule comparison plus the
+// hot-path allocation audit.
+type result struct {
+	Name     string `json:"name"`
+	Config   string `json:"config"`
+	Ranks    int    `json:"ranks"`
+	Steps    int    `json:"steps"`
+	Backend  string `json:"backend"`
+	Schedule string `json:"schedule"`
+
+	// Schedule comparison at the bench1 configuration.
+	SeqStepsPerSec  float64 `json:"seq_steps_per_sec"`
+	ConcStepsPerSec float64 `json:"conc_steps_per_sec"`
+	Speedup         float64 `json:"speedup"`
+	SeqSYPD         float64 `json:"seq_sypd"`
+	ConcSYPD        float64 `json:"conc_sypd"`
+	OverlapFrac     float64 `json:"overlap_frac"`
+	WaitAtmSec      float64 `json:"cpl_wait_atm_sec"`
+	WaitOcnSec      float64 `json:"cpl_wait_ocn_sec"`
+
+	// Steady-state allocation audit of the coupling hot path.
+	RearrangeAllocsPerCall float64 `json:"rearrange_allocs_per_call"`
+	OceanAllocsPerStep     float64 `json:"ocean_allocs_per_step"`
+
+	// bench1 baseline for context (0 when BENCH_1.json is absent).
+	BaselineSYPD float64 `json:"baseline_sypd"`
+
+	WallSec   float64 `json:"wall_sec"`
+	Timestamp string  `json:"timestamp"`
+}
+
+// schedRun is one schedule's measurement.
+type schedRun struct {
+	stepsPerSec float64
+	sypd        float64
+	overlap     float64
+	waitAtm     time.Duration
+	waitOcn     time.Duration
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench2: ")
+	label := flag.String("config", "25v10", "coupled configuration label")
+	ranks := flag.Int("ranks", 2, "process count")
+	steps := flag.Int("steps", 45, "coupling steps to time per schedule")
+	out := flag.String("out", "BENCH_2.json", "output path")
+	flag.Parse()
+
+	cfg, err := core.ConfigForLabel(*label)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sp := pp.NewHost(0)
+	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
+
+	wall := time.Now()
+	seq := runSchedule(cfg, core.ScheduleSeq, *ranks, *steps, sp, start)
+	conc := runSchedule(cfg, core.ScheduleConc, *ranks, *steps, sp, start)
+	rearrAllocs := measureRearrangeAllocs()
+	ocnAllocs := measureOceanAllocs()
+
+	res := result{
+		Name:     "schedule-overlap",
+		Config:   cfg.Label,
+		Ranks:    *ranks,
+		Steps:    *steps,
+		Backend:  sp.Name(),
+		Schedule: "seq-vs-conc",
+
+		SeqStepsPerSec:  seq.stepsPerSec,
+		ConcStepsPerSec: conc.stepsPerSec,
+		SeqSYPD:         seq.sypd,
+		ConcSYPD:        conc.sypd,
+		OverlapFrac:     conc.overlap,
+		WaitAtmSec:      conc.waitAtm.Seconds(),
+		WaitOcnSec:      conc.waitOcn.Seconds(),
+
+		RearrangeAllocsPerCall: rearrAllocs,
+		OceanAllocsPerStep:     ocnAllocs,
+
+		WallSec:   time.Since(wall).Seconds(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+	}
+	if seq.stepsPerSec > 0 {
+		res.Speedup = conc.stepsPerSec / seq.stepsPerSec
+	}
+	if base, err := readBaselineSYPD("BENCH_1.json"); err == nil {
+		res.BaselineSYPD = base
+	}
+
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	if err := validate(*out); err != nil {
+		log.Fatalf("self-validation of %s failed: %v", *out, err)
+	}
+	fmt.Printf("%s: seq %.2f steps/s, conc %.2f steps/s (%.2fx), overlap %.2f, rearrange %.1f allocs/call, ocean %.1f allocs/step -> %s\n",
+		res.Name, res.SeqStepsPerSec, res.ConcStepsPerSec, res.Speedup,
+		res.OverlapFrac, res.RearrangeAllocsPerCall, res.OceanAllocsPerStep, *out)
+}
+
+// runSchedule times `steps` coupling steps of a fresh model under the
+// given schedule and collects the overlap instrumentation.
+func runSchedule(cfg core.Config, sched core.Schedule, ranks, steps int, sp pp.Space, start time.Time) schedRun {
+	var r schedRun
+	par.Run(ranks, func(c *par.Comm) {
+		handle := obs.New(c.Rank(), nil)
+		e, err := core.NewWithOptions(cfg, c,
+			core.WithInterval(start, start.Add(24*time.Hour)),
+			core.WithSpace(sp),
+			core.WithObserver(handle),
+			core.WithSchedule(sched))
+		if err != nil {
+			log.Fatal(err)
+		}
+		t0 := time.Now()
+		sypd, err := e.MeasureSYPD(steps)
+		if err != nil {
+			log.Fatal(err)
+		}
+		elapsed := time.Since(t0).Seconds()
+		if c.Rank() != 0 {
+			return
+		}
+		r.sypd = sypd
+		if elapsed > 0 {
+			r.stepsPerSec = float64(steps) / elapsed
+		}
+		r.overlap = e.OverlapFraction()
+		r.waitAtm, _ = handle.Section("cpl.wait.atm")
+		r.waitOcn, _ = handle.Section("cpl.wait.ocn")
+	})
+	return r
+}
+
+// measureRearrangeAllocs returns the steady-state heap allocations per
+// RearrangeInto call (P2P mode, single rank) via a Mallocs delta.
+func measureRearrangeAllocs() float64 {
+	const n, iters = 512, 200
+	var allocs float64
+	par.Run(1, func(c *par.Comm) {
+		src, err := coupler.OfflineGSMap(func(gi int) int { return 0 }, n, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := coupler.BuildRouter(c, src, src)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sv, _ := coupler.NewAttrVect([]string{"t", "s"}, n)
+		dv, _ := coupler.NewAttrVect([]string{"t", "s"}, n)
+		// Warm call grows the persistent buffers.
+		if err := coupler.RearrangeInto(c, r, sv, dv, coupler.ModeP2P, nil); err != nil {
+			log.Fatal(err)
+		}
+		allocs = mallocsPer(iters, func() {
+			if err := coupler.RearrangeInto(c, r, sv, dv, coupler.ModeP2P, nil); err != nil {
+				log.Fatal(err)
+			}
+		})
+	})
+	return allocs
+}
+
+// measureOceanAllocs returns the steady-state heap allocations per ocean
+// step on a single rank.
+func measureOceanAllocs() float64 {
+	var allocs float64
+	par.Run(1, func(c *par.Comm) {
+		g, err := grid.NewTripolar(24, 12, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ct := par.NewCart(c, 1, 1, true, false)
+		b, err := grid.NewBlock(g, ct, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		o, err := ocean.New(g, b, ocean.DefaultConfig(), pp.Serial{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		o.Step()
+		o.Step()
+		allocs = mallocsPer(20, o.Step)
+	})
+	return allocs
+}
+
+// mallocsPer reports the mean heap allocations of f over iters calls,
+// measured with a runtime.MemStats Mallocs delta.
+func mallocsPer(iters int, f func()) float64 {
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(iters)
+}
+
+// readBaselineSYPD pulls the sypd field out of bench1's record.
+func readBaselineSYPD(path string) (float64, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return 0, err
+	}
+	var rec struct {
+		SYPD float64 `json:"sypd"`
+	}
+	if err := json.Unmarshal(b, &rec); err != nil {
+		return 0, err
+	}
+	return rec.SYPD, nil
+}
+
+// validate re-reads the written record with strict field checking and
+// sanity-checks the values — the schema contract scripts/check.sh relies
+// on.
+func validate(path string) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var rec result
+	if err := dec.Decode(&rec); err != nil {
+		return err
+	}
+	switch {
+	case rec.Name == "" || rec.Config == "" || rec.Timestamp == "":
+		return fmt.Errorf("missing identification fields")
+	case rec.Ranks < 1 || rec.Steps < 1:
+		return fmt.Errorf("non-positive ranks/steps")
+	case !(rec.SeqStepsPerSec > 0) || !(rec.ConcStepsPerSec > 0):
+		return fmt.Errorf("non-positive steps/sec")
+	case math.IsNaN(rec.Speedup) || rec.Speedup <= 0:
+		return fmt.Errorf("invalid speedup %v", rec.Speedup)
+	case rec.OverlapFrac < 0 || rec.OverlapFrac > 1:
+		return fmt.Errorf("overlap fraction %v outside [0,1]", rec.OverlapFrac)
+	case rec.RearrangeAllocsPerCall != 0:
+		return fmt.Errorf("steady-state rearrange allocates (%v allocs/call)", rec.RearrangeAllocsPerCall)
+	case rec.OceanAllocsPerStep != 0:
+		return fmt.Errorf("steady-state ocean step allocates (%v allocs/step)", rec.OceanAllocsPerStep)
+	}
+	return nil
+}

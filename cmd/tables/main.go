@@ -6,6 +6,7 @@
 //	tables -fig 2        Figure 2 (state-of-the-art scatter and line)
 //	tables -fig 8a       Figure 8a (strong-scaling curves)
 //	tables -fig 8b       Figure 8b (weak-scaling ladders)
+//	tables -rearr        rearranger traffic (§5.2.4 p2p vs alltoall counts)
 //	tables -all          everything
 package main
 
@@ -15,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/coupler"
 	"repro/internal/perfmodel"
 )
 
@@ -23,10 +25,11 @@ func main() {
 	log.SetPrefix("tables: ")
 	table := flag.Int("table", 0, "table number to print (1 or 2)")
 	fig := flag.String("fig", "", "figure to print (2, 8a, 8b)")
+	rearr := flag.Bool("rearr", false, "print the rearranger traffic table")
 	all := flag.Bool("all", false, "print every table and figure")
 	flag.Parse()
 
-	if !*all && *table == 0 && *fig == "" {
+	if !*all && *table == 0 && *fig == "" && !*rearr {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -102,5 +105,74 @@ func main() {
 			fmt.Printf("  %3d km  %6d nodes  %9d cores  %7.4f SYPD  eff %6.2f%%\n",
 				p.ResKm, p.Nodes, p.Cores, p.SYPD, 100*p.Efficiency)
 		}
+		fmt.Println()
 	}
+	if *all || *rearr {
+		fmt.Println("=== Rearranger traffic: p2p vs alltoall messages (§5.2.4) ===")
+		if err := printRearrTable(); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printRearrTable builds routers over an ocean-sized index space at
+// several rank counts and prints, per count, the total messages each mode
+// produces — the corrected accounting where the self-rank block never
+// counts as a p2p message while the collective touches every pair slot.
+// Two redistribution patterns bracket the real coupler: a dense
+// block->cyclic shuffle (every pair exchanges) and a sparse half-block
+// shift (each rank talks to at most two neighbors, the §5.2.4 regime
+// where the p2p rearranger wins big).
+func printRearrTable() error {
+	const n = 128 * 64 // a 25v10-class ocean surface index space
+	fmt.Printf("%6s  %10s  |%12s  %10s  |%12s  %10s\n",
+		"ranks", "alltoall", "dense p2p", "reduction", "sparse p2p", "reduction")
+	for _, p := range []int{2, 4, 8, 16, 32} {
+		bw := (n + p - 1) / p
+		block := func(gi int) int {
+			pe := gi / bw
+			if pe >= p {
+				pe = p - 1
+			}
+			return pe
+		}
+		src, err := coupler.OfflineGSMap(block, n, p)
+		if err != nil {
+			return err
+		}
+		denseDst, err := coupler.OfflineGSMap(func(gi int) int { return gi % p }, n, p)
+		if err != nil {
+			return err
+		}
+		sparseDst, err := coupler.OfflineGSMap(func(gi int) int {
+			return block((gi + bw/2) % n)
+		}, n, p)
+		if err != nil {
+			return err
+		}
+		a2aTotal := 0
+		totals := make(map[*coupler.GSMap]int)
+		for _, dst := range []*coupler.GSMap{denseDst, sparseDst} {
+			rs, err := coupler.BuildRouterOffline(src, dst, p)
+			if err != nil {
+				return err
+			}
+			a2aTotal = 0
+			for pe, r := range rs {
+				a2a, p2p := r.MessageCount(pe, p)
+				a2aTotal += a2a
+				totals[dst] += p2p
+			}
+		}
+		red := func(p2p int) float64 {
+			if p2p == 0 {
+				return float64(a2aTotal)
+			}
+			return float64(a2aTotal) / float64(p2p)
+		}
+		fmt.Printf("%6d  %10d  |%12d  %9.2fx  |%12d  %9.2fx\n",
+			p, a2aTotal, totals[denseDst], red(totals[denseDst]),
+			totals[sparseDst], red(totals[sparseDst]))
+	}
+	return nil
 }

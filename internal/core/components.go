@@ -61,7 +61,7 @@ func (o *ocnComp) Init() (exports, imports []string, err error) {
 	return []string{"sst"},
 		[]string{"taux", "tauy", "qheat_parts", "fwflux_parts", "freezeheat"}, nil
 }
-func (o *ocnComp) Run(dt time.Duration) error { o.e.oceanStep(); return nil }
+func (o *ocnComp) Run(dt time.Duration) error { o.e.oceanImport(); o.e.oceanSubsteps(); return nil }
 func (o *ocnComp) Export() (*coupler.AttrVect, error) {
 	oc := o.e.Ocn
 	b := oc.B

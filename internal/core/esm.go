@@ -47,6 +47,16 @@ type ESM struct {
 
 	couplingSteps int
 	ocnStepsPer   int
+
+	// Component schedule state (see schedule.go): the schedule selector,
+	// the persistent atmosphere-broadcast buffer of the concurrent
+	// schedule's single-writer atmosphere, the join channel of the ocean
+	// goroutine, and the overlap-fraction accumulator.
+	schedule   Schedule
+	atmPack    []float64
+	ocnDone    chan time.Duration
+	overlapSum float64
+	overlapN   int
 }
 
 // New assembles the coupled model over the communicator for the simulated
@@ -121,9 +131,11 @@ func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
 	e := &ESM{
 		Cfg: cfg, Comm: c,
 		Atm: atm, Ocn: ocn, Ice: ice, Lnd: lnd,
-		Rg:    NewRegridder(atm.Mesh, g),
-		Clock: clk,
-		obs:   ob,
+		Rg:       NewRegridder(atm.Mesh, g),
+		Clock:    clk,
+		obs:      ob,
+		schedule: opt.schedule,
+		ocnDone:  make(chan time.Duration, 1),
 	}
 
 	// Ocean steps per ocean coupling interval.
@@ -179,19 +191,47 @@ func abs(x int) int {
 }
 
 // Step advances one coupling interval; returns false when the clock is done.
+//
+// Both schedules run one shared dataflow per base step: (1) when the ocean
+// couples this interval, import its air–sea fluxes from the currently
+// exported surface state — the previous interval's export, which stays
+// frozen until the export phase (the import barrier); (2) advance the two
+// independent component groups, the ocean's baroclinic substeps and the
+// atmosphere + land step, which read and write disjoint state; (3) couple
+// the sea ice and export the new ocean surface to the atmosphere (the
+// export barrier). ScheduleSeq runs the groups back to back; ScheduleConc
+// overlaps them — bit-for-bit identically, because nothing crosses between
+// the barriers either way.
 func (e *ESM) Step() bool {
 	ringing, ok := e.Clock.Advance()
 	if !ok {
 		return false
 	}
+	var atmRings, iceRings, ocnRings bool
 	for _, name := range ringing {
 		switch name {
 		case "atm":
-			e.timed("atm", e.atmosphereStep)
+			atmRings = true
 		case "ice":
-			e.timed("ice", e.iceStep)
+			iceRings = true
 		case "ocn":
-			e.timed("ocn", e.oceanStep)
+			ocnRings = true
+		}
+	}
+	if e.schedule == ScheduleConc && ocnRings {
+		e.stepConcurrent(atmRings, iceRings)
+	} else {
+		if ocnRings {
+			e.timed("ocn", func() {
+				e.oceanImport()
+				e.oceanSubsteps()
+			})
+		}
+		if atmRings {
+			e.timed("atm", e.atmosphereStep)
+		}
+		if iceRings {
+			e.timed("ice", e.iceStep)
 		}
 	}
 	e.couplingSteps++
@@ -217,11 +257,28 @@ func (e *ESM) RunDays(days float64) int {
 }
 
 // atmosphereStep runs one atmosphere model step plus the direct land
-// exchange (the land model bypasses the coupler, §5.1.1).
+// exchange (the land model bypasses the coupler, §5.1.1). Under the
+// sequential schedule every rank computes the replicated atmosphere
+// redundantly; the concurrent schedule computes it once on rank 0 and
+// broadcasts the step's outputs, which is bit-for-bit the same state on
+// every rank while freeing the other ranks' time inside the overlap
+// window.
 func (e *ESM) atmosphereStep() {
-	e.Atm.StepModel()
+	if e.schedule == ScheduleConc && e.Comm.Size() > 1 {
+		if e.Comm.Rank() == 0 {
+			e.Atm.StepModel()
+		}
+		e.bcastAtmStep()
+	} else {
+		e.Atm.StepModel()
+	}
+	e.landStep()
+}
 
-	// Direct atmosphere ↔ land exchange on land cells.
+// landStep runs the direct atmosphere ↔ land exchange on land cells. The
+// land model is replicated, so every rank steps it from the (identical)
+// atmosphere state.
+func (e *ESM) landStep() {
 	nc := e.Atm.Mesh.NCells()
 	kb := e.Atm.NLev - 1
 	u10, v10 := e.Atm.Wind10m()
@@ -269,13 +326,14 @@ func (e *ESM) iceStep() {
 	e.applySurfaceToAtmos()
 }
 
-// oceanStep computes the air–sea fluxes on the ocean grid — the flux
+// oceanImport computes the air–sea fluxes on the ocean grid — the flux
 // coupler's job in CPL7: turbulent fluxes use the atmosphere's lowest-level
 // state at the nearest cell together with the ocean's *own* SST, so coastal
-// columns are never contaminated by land skin temperatures — then
-// integrates the ocean over its coupling interval and refreshes the SST the
-// atmosphere sees.
-func (e *ESM) oceanStep() {
+// columns are never contaminated by land skin temperatures. It is the
+// ocean group's import barrier: everything it reads from the atmosphere
+// and ice is the state exported at the end of the previous base step, so
+// it runs before the groups advance under either schedule.
+func (e *ESM) oceanImport() {
 	o := e.Ocn
 	b := o.B
 	const (
@@ -325,11 +383,17 @@ func (e *ESM) oceanStep() {
 			o.FWFlux[idx] = ocean.SRef * emp / (ocean.Rho0 * firstLayerDepth(o))
 		}
 	}
+}
+
+// oceanSubsteps integrates the ocean over its coupling interval — the
+// baroclinic sub-step loop that the concurrent schedule overlaps with the
+// atmosphere + land group. It touches only ocean state and the ocean
+// block's point-to-point halo traffic; the refreshed surface is exported
+// to the atmosphere afterwards in iceStep, the base step's export phase.
+func (e *ESM) oceanSubsteps() {
 	for s := 0; s < e.ocnStepsPer; s++ {
-		o.Step()
+		e.Ocn.Step()
 	}
-	e.refreshOceanSurface()
-	e.applySurfaceToAtmos()
 }
 
 func firstLayerDepth(o *ocean.Ocean) float64 { return o.G.LevelDepth[0] }

@@ -1,0 +1,157 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/par"
+)
+
+// Schedule selects how the component groups advance within one coupling
+// interval — the paper's concurrent-components lever (components on
+// disjoint processor sets progressing simultaneously), mapped onto the
+// reproduction's SPMD layout.
+type Schedule int
+
+const (
+	// ScheduleSeq runs the ocean group, then the atmosphere + land group,
+	// then the ice/export phase strictly in sequence on every rank, with
+	// the atmosphere computed redundantly everywhere.
+	ScheduleSeq Schedule = iota
+	// ScheduleConc overlaps the ocean group's baroclinic substeps with the
+	// atmosphere + land group inside each coupling interval, and computes
+	// the replicated atmosphere once (on rank 0, broadcasting the step's
+	// outputs) instead of redundantly on every rank.
+	ScheduleConc
+)
+
+// String implements fmt.Stringer.
+func (s Schedule) String() string {
+	switch s {
+	case ScheduleSeq:
+		return "seq"
+	case ScheduleConc:
+		return "conc"
+	default:
+		return fmt.Sprintf("Schedule(%d)", int(s))
+	}
+}
+
+// ParseSchedule maps the -schedule flag values onto Schedule.
+func ParseSchedule(name string) (Schedule, error) {
+	switch name {
+	case "seq":
+		return ScheduleSeq, nil
+	case "conc":
+		return ScheduleConc, nil
+	default:
+		return 0, fmt.Errorf("core: unknown schedule %q (want seq or conc)", name)
+	}
+}
+
+// Schedule returns the component schedule the model runs under.
+func (e *ESM) Schedule() Schedule { return e.schedule }
+
+// sectionAdder is the structural subset of *obs.Obs the concurrent
+// schedule uses to report the ocean group's idle time: that duration is
+// measured at the join rather than bracketing a region on the driver
+// goroutine, so it cannot be a span.
+type sectionAdder interface {
+	AddSection(name string, d time.Duration)
+}
+
+// stepConcurrent advances one base step on which the ocean couples,
+// overlapping the ocean group's baroclinic substeps with the atmosphere +
+// land group. The two groups read and write disjoint state between the
+// import and export barriers (see DESIGN.md), so the result is bit-for-bit
+// identical to the sequential schedule.
+//
+// Concurrency discipline on the shared communicator: the ocean goroutine
+// performs only point-to-point halo traffic, the driver goroutine only
+// collectives (the atmosphere broadcast) — independent channel classes, so
+// neither can consume the other's messages. The ocean goroutine makes no
+// obs span calls (spans nest per rank); its wall time is measured with a
+// plain clock and folded into sections at the join.
+func (e *ESM) stepConcurrent(atmRings, iceRings bool) {
+	osp := e.obs.StartSpan("ocn")
+	e.oceanImport()
+	start := time.Now()
+	go func() {
+		e.oceanSubsteps()
+		e.ocnDone <- time.Since(start)
+	}()
+	var atmDur time.Duration
+	if atmRings {
+		e.timed("atm", e.atmosphereStep)
+		atmDur = time.Since(start)
+	}
+	wsp := e.obs.StartSpan("cpl.wait.ocn")
+	ocnDur := <-e.ocnDone
+	wsp.End()
+	osp.End()
+
+	if atmDur > ocnDur {
+		// The ocean group finished first and idled until the join — the
+		// load-imbalance signal the overlap instrumentation exists to show.
+		if h, ok := e.obs.(sectionAdder); ok {
+			h.AddSection("cpl.wait.atm", atmDur-ocnDur)
+		}
+	}
+	longer, shorter := atmDur, ocnDur
+	if ocnDur > longer {
+		longer, shorter = ocnDur, atmDur
+	}
+	frac := 0.0
+	if longer > 0 {
+		frac = float64(shorter) / float64(longer)
+	}
+	e.obs.SetGauge("cpl.overlap.frac", frac)
+	e.overlapSum += frac
+	e.overlapN++
+
+	if iceRings {
+		e.timed("ice", e.iceStep)
+	}
+}
+
+// OverlapFraction returns the mean atmosphere–ocean overlap fraction over
+// the concurrent couplings run so far (0 when none ran): per coupling, the
+// shorter group's wall time divided by the longer's, i.e. the share of the
+// critical path during which both groups were busy.
+func (e *ESM) OverlapFraction() float64 {
+	if e.overlapN == 0 {
+		return 0
+	}
+	return e.overlapSum / float64(e.overlapN)
+}
+
+// bcastAtmStep replicates rank 0's atmosphere step outputs to every rank
+// through one persistent flat buffer. par.Bcast shares the root's slice by
+// reference, so non-root ranks copy out immediately; rank 0's next repack
+// of the buffer is ordered after those copies by the surface-export
+// collectives every base step performs before the next atmosphere step.
+func (e *ESM) bcastAtmStep() {
+	fields := e.Atm.StepOutputs()
+	var pack []float64
+	if e.Comm.Rank() == 0 {
+		if e.atmPack == nil {
+			total := 0
+			for _, f := range fields {
+				total += len(f)
+			}
+			e.atmPack = make([]float64, total)
+		}
+		off := 0
+		for _, f := range fields {
+			off += copy(e.atmPack[off:], f)
+		}
+		pack = e.atmPack
+	}
+	pack = par.Bcast(e.Comm, 0, pack)
+	if e.Comm.Rank() != 0 {
+		off := 0
+		for _, f := range fields {
+			off += copy(f, pack[off:off+len(f)])
+		}
+	}
+}

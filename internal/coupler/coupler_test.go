@@ -395,7 +395,7 @@ func TestMessageCountP2PBelowAlltoall(t *testing.T) {
 	}, n, p)
 	rs, _ := BuildRouterOffline(src, dst, p)
 	for pe, r := range rs {
-		a2a, p2p := r.MessageCount(p)
+		a2a, p2p := r.MessageCount(pe, p)
 		if a2a != p {
 			t.Errorf("alltoall count %d", a2a)
 		}

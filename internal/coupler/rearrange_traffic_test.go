@@ -1,0 +1,149 @@
+package coupler
+
+import (
+	"testing"
+
+	"repro/internal/par"
+)
+
+// countObserver is a per-rank Observer stub accumulating counters; each
+// rank goroutine owns its own instance, so no locking is needed.
+type countObserver struct {
+	counts map[string]int64
+}
+
+func newCountObserver() *countObserver {
+	return &countObserver{counts: make(map[string]int64)}
+}
+
+func (o *countObserver) AddCount(name string, delta int64) { o.counts[name] += delta }
+func (o *countObserver) SetGauge(string, float64)          {}
+
+// The messages RearrangeTo reports must match Router.MessageCount exactly
+// in a multi-rank run, for both modes — the accounting the §5.2.4 traffic
+// tables are built from.
+func TestRearrangeTrafficMatchesMessageCount(t *testing.T) {
+	const n, p = 120, 4
+	src, _ := OfflineGSMap(blockOwner(n, p), n, p)
+	dst, _ := OfflineGSMap(cyclicOwner(p), n, p)
+	for _, mode := range []RearrangeMode{ModeAlltoall, ModeP2P} {
+		par.Run(p, func(c *par.Comm) {
+			r, err := BuildRouter(c, src, dst)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			av, _ := NewAttrVect([]string{"t", "s", "u"}, len(src.LocalIndices(c.Rank())))
+			ob := newCountObserver()
+			if _, err := RearrangeTo(c, r, av, mode, ob); err != nil {
+				t.Errorf("mode %v: %v", mode, err)
+				return
+			}
+			a2a, p2p := r.MessageCount(c.Rank(), p)
+			want := int64(a2a)
+			if mode == ModeP2P {
+				want = int64(p2p)
+			}
+			if got := ob.counts["coupler.rearrange.msgs"]; got != want {
+				t.Errorf("mode %v rank %d: recorded %d msgs, MessageCount says %d",
+					mode, c.Rank(), got, want)
+			}
+			// Bytes must cover exactly the packed payload the mode sends:
+			// non-empty non-self blocks under P2P, every block (self
+			// included) under the collective.
+			var wantBytes int64
+			for pe, offs := range r.SendTo {
+				if len(offs) == 0 || (mode == ModeP2P && pe == c.Rank()) {
+					continue
+				}
+				wantBytes += int64(8 * av.NFields() * len(offs))
+			}
+			if got := ob.counts["coupler.rearrange.bytes"]; got != wantBytes {
+				t.Errorf("mode %v rank %d: recorded %d bytes, want %d",
+					mode, c.Rank(), got, wantBytes)
+			}
+		})
+	}
+}
+
+// On a single rank every block is the self block: the P2P path sends
+// nothing at all, while the collective still runs its one slot.
+func TestRearrangeSelfTrafficExcluded(t *testing.T) {
+	const n = 64
+	src, _ := OfflineGSMap(blockOwner(n, 1), n, 1)
+	dst, _ := OfflineGSMap(cyclicOwner(1), n, 1)
+	par.Run(1, func(c *par.Comm) {
+		r, err := BuildRouter(c, src, dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		av, _ := NewAttrVect([]string{"t", "s"}, n)
+		for _, mode := range []RearrangeMode{ModeAlltoall, ModeP2P} {
+			ob := newCountObserver()
+			if _, err := RearrangeTo(c, r, av, mode, ob); err != nil {
+				t.Errorf("mode %v: %v", mode, err)
+				continue
+			}
+			msgs := ob.counts["coupler.rearrange.msgs"]
+			bytes := ob.counts["coupler.rearrange.bytes"]
+			switch mode {
+			case ModeP2P:
+				if msgs != 0 || bytes != 0 {
+					t.Errorf("p2p self traffic counted: %d msgs, %d bytes", msgs, bytes)
+				}
+			case ModeAlltoall:
+				if msgs != 1 {
+					t.Errorf("alltoall msgs = %d, want 1", msgs)
+				}
+				if want := int64(8 * 2 * n); bytes != want {
+					t.Errorf("alltoall bytes = %d, want %d", bytes, want)
+				}
+			}
+		}
+	})
+}
+
+// Steady-state RearrangeInto must not allocate: the persistent pack
+// buffers absorb every call after the first.
+func TestRearrangeIntoZeroAllocs(t *testing.T) {
+	const n = 96
+	src, _ := OfflineGSMap(blockOwner(n, 1), n, 1)
+	dst, _ := OfflineGSMap(cyclicOwner(1), n, 1)
+	par.Run(1, func(c *par.Comm) {
+		r, err := BuildRouter(c, src, dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sv, _ := NewAttrVect([]string{"t", "s"}, n)
+		dv, _ := NewAttrVect([]string{"t", "s"}, n)
+		for i := 0; i < n; i++ {
+			sv.MustField("t")[i] = float64(i)
+			sv.MustField("s")[i] = float64(i) * 0.25
+		}
+		for _, mode := range []RearrangeMode{ModeAlltoall, ModeP2P} {
+			// Warm call grows the router's buffers.
+			if err := RearrangeInto(c, r, sv, dv, mode, nil); err != nil {
+				t.Errorf("mode %v: %v", mode, err)
+				continue
+			}
+			allocs := testing.AllocsPerRun(50, func() {
+				if err := RearrangeInto(c, r, sv, dv, mode, nil); err != nil {
+					t.Error(err)
+				}
+			})
+			if allocs != 0 {
+				t.Errorf("mode %v: %.1f allocs per steady-state rearrange, want 0", mode, allocs)
+			}
+		}
+		// The zero-alloc path must still move the data correctly.
+		mydst := dst.LocalIndices(0)
+		for i, gi := range mydst {
+			if dv.MustField("t")[i] != float64(gi) {
+				t.Errorf("t[%d] = %v, want %d", i, dv.MustField("t")[i], gi)
+				return
+			}
+		}
+	})
+}

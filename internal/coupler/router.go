@@ -27,6 +27,12 @@ type Router struct {
 	RecvFrom [][]int
 	// NSrc and NDst are the local vector lengths on each side.
 	NSrc, NDst int
+
+	// Persistent per-peer pack buffers and the alltoall send table of the
+	// allocation-free rearrange path (RearrangeInto). Lazily grown and
+	// unexported, so gob snapshots and plan comparisons see only the plan.
+	pbufs     [][]float64
+	sendTable [][]float64
 }
 
 // BuildRouter constructs the plan for the calling rank, which participates

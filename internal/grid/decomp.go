@@ -106,36 +106,37 @@ func (b *Block) exchange(f []float64, foldSign float64) {
 	lni, h := b.LNI(), b.H
 	c := b.Cart.Comm
 
-	rowSlab := func(j0 int) []float64 {
-		out := make([]float64, h*lni)
-		for r := 0; r < h; r++ {
-			copy(out[r*lni:(r+1)*lni], f[(j0+r)*lni:(j0+r+1)*lni])
-		}
-		return out
-	}
-	putRowSlab := func(j0 int, data []float64) {
-		for r := 0; r < h; r++ {
-			copy(f[(j0+r)*lni:(j0+r+1)*lni], data[r*lni:(r+1)*lni])
-		}
-	}
-
 	// --- Y direction ---
 	_, _, south, north := b.Cart.Neighbors()
 	if south >= 0 {
-		par.Send(c, south, tagSouth, rowSlab(h)) // my bottom owned rows
+		par.Send(c, south, tagSouth, b.rowSlab(f, h)) // my bottom owned rows
 	}
 	if north >= 0 {
-		par.Send(c, north, tagNorth, rowSlab(h+b.NJ-h)) // my top owned rows
+		par.Send(c, north, tagNorth, b.rowSlab(f, b.NJ)) // my top owned rows
 	}
+	foldLocal := false
 	if b.AtNorthFold() {
 		// Top ghost rows come from the mirrored block across the fold.
-		partner := b.foldPartnerRank()
-		slab := rowSlab(h + b.NJ - h)
-		par.Send(c, partner, tagFold, slab)
+		if partner := b.foldPartnerRank(); partner == c.Rank() {
+			// The mirrored block is this one: fill the fold ghosts directly,
+			// allocation-free. Ghost row (NJ+r) takes the own owned row
+			// (NJ-1-r), columns mirrored; source rows (< h+NJ) and
+			// destination rows (>= h+NJ) never overlap.
+			foldLocal = true
+			for r := 0; r < h; r++ {
+				src := f[(b.NJ+h-1-r)*lni : (b.NJ+h-r)*lni]
+				dst := f[(h+b.NJ+r)*lni : (h+b.NJ+r+1)*lni]
+				for li := 0; li < b.NI; li++ {
+					dst[h+li] = foldSign * src[h+b.NI-1-li]
+				}
+			}
+		} else {
+			par.Send(c, partner, tagFold, b.rowSlab(f, b.NJ))
+		}
 	}
 	if south >= 0 {
 		data, _ := par.Recv[[]float64](c, south, tagNorth)
-		putRowSlab(0, data)
+		b.putRowSlab(f, 0, data)
 	} else {
 		// Closed south: zero-gradient.
 		for r := 0; r < h; r++ {
@@ -144,8 +145,8 @@ func (b *Block) exchange(f []float64, foldSign float64) {
 	}
 	if north >= 0 {
 		data, _ := par.Recv[[]float64](c, north, tagSouth)
-		putRowSlab(h+b.NJ, data)
-	} else if b.AtNorthFold() {
+		b.putRowSlab(f, h+b.NJ, data)
+	} else if b.AtNorthFold() && !foldLocal {
 		partner := b.foldPartnerRank()
 		data, _ := par.Recv[[]float64](c, partner, tagFold)
 		// The fold reverses longitude and row order: ghost row (NJ+r) takes
@@ -162,34 +163,64 @@ func (b *Block) exchange(f []float64, foldSign float64) {
 
 	// --- X direction (periodic), carries the corner ghosts ---
 	west, east, _, _ := b.Cart.Neighbors()
-	lnj := b.LNJ()
-	colSlab := func(i0 int) []float64 {
-		out := make([]float64, h*lnj)
-		for j := 0; j < lnj; j++ {
-			for r := 0; r < h; r++ {
-				out[j*h+r] = f[j*lni+i0+r]
-			}
-		}
-		return out
-	}
-	putColSlab := func(i0 int, data []float64) {
-		for j := 0; j < lnj; j++ {
-			for r := 0; r < h; r++ {
-				f[j*lni+i0+r] = data[j*h+r]
-			}
-		}
-	}
 	if b.Cart.NX == 1 {
-		// Periodic wrap within the single block.
-		putColSlab(0, colSlab(b.NI))   // west ghosts from east owned
-		putColSlab(h+b.NI, colSlab(h)) // east ghosts from west owned
+		// Periodic wrap within the single block, row by row without staging
+		// buffers: west ghosts take the east owned columns, east ghosts the
+		// west owned columns (disjoint ranges for any h <= NI).
+		lnj := b.LNJ()
+		for j := 0; j < lnj; j++ {
+			row := f[j*lni : (j+1)*lni]
+			copy(row[:h], row[b.NI:b.NI+h])
+			copy(row[h+b.NI:], row[h:2*h])
+		}
 	} else {
-		par.Send(c, west, tagWest, colSlab(h))
-		par.Send(c, east, tagEast, colSlab(b.NI))
+		par.Send(c, west, tagWest, b.colSlab(f, h))
+		par.Send(c, east, tagEast, b.colSlab(f, b.NI))
 		dataE, _ := par.Recv[[]float64](c, east, tagWest)
-		putColSlab(h+b.NI, dataE)
+		b.putColSlab(f, h+b.NI, dataE)
 		dataW, _ := par.Recv[[]float64](c, west, tagEast)
-		putColSlab(0, dataW)
+		b.putColSlab(f, 0, dataW)
+	}
+}
+
+// rowSlab copies h rows of f starting at local row j0 into a fresh message
+// buffer; putRowSlab writes such a buffer back at row j0. They are methods
+// rather than closures so the all-local exchange paths allocate nothing.
+func (b *Block) rowSlab(f []float64, j0 int) []float64 {
+	lni, h := b.LNI(), b.H
+	out := make([]float64, h*lni)
+	for r := 0; r < h; r++ {
+		copy(out[r*lni:(r+1)*lni], f[(j0+r)*lni:(j0+r+1)*lni])
+	}
+	return out
+}
+
+func (b *Block) putRowSlab(f []float64, j0 int, data []float64) {
+	lni, h := b.LNI(), b.H
+	for r := 0; r < h; r++ {
+		copy(f[(j0+r)*lni:(j0+r+1)*lni], data[r*lni:(r+1)*lni])
+	}
+}
+
+// colSlab copies h columns of f starting at local column i0 into a fresh
+// message buffer; putColSlab writes such a buffer back at column i0.
+func (b *Block) colSlab(f []float64, i0 int) []float64 {
+	lni, lnj, h := b.LNI(), b.LNJ(), b.H
+	out := make([]float64, h*lnj)
+	for j := 0; j < lnj; j++ {
+		for r := 0; r < h; r++ {
+			out[j*h+r] = f[j*lni+i0+r]
+		}
+	}
+	return out
+}
+
+func (b *Block) putColSlab(f []float64, i0 int, data []float64) {
+	lni, lnj, h := b.LNI(), b.LNJ(), b.H
+	for j := 0; j < lnj; j++ {
+		for r := 0; r < h; r++ {
+			f[j*lni+i0+r] = data[j*h+r]
+		}
 	}
 }
 

@@ -95,6 +95,32 @@ type Ocean struct {
 	depth []float64 // column depth at centers
 
 	steps int
+
+	// Persistent stepping scratch (lazily built on the first Step) and the
+	// pre-bound row kernels, so steady-state stepping performs zero heap
+	// allocations: double buffers are swapped instead of reallocated, and
+	// the kernels are method values created once rather than per-call
+	// closures.
+	scr                                                              *stepScratch
+	kernMomentum, kernContinuity, kernBtMomentum, kernSplit, kernAdv func(lj int)
+}
+
+// stepScratch holds the persistent work arrays of the stepping hot path and
+// the per-sweep kernel parameters the pre-bound kernels read (a closure
+// would capture them, but closures are allocated per call).
+type stepScratch struct {
+	pr              []float64 // hydrostatic baroclinic pressure
+	u, v            []float64 // 3-D momentum double buffers
+	t, s            []float64 // tracer double buffers
+	eta, ubar, vbar []float64 // barotropic double buffers
+	dt, dtb         float64   // current baroclinic / barotropic step lengths
+
+	surfT, surfS func(c int) float64 // bound surface-forcing closures
+
+	// advectDiffuseInto sweep parameters, valid for one ParallelFor.
+	advTr, advOut []float64
+	advDt         float64
+	advSurf       func(c int) float64
 }
 
 // idx2 returns the local 2-D offset of (li, lj) in owned coordinates.

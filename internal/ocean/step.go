@@ -9,6 +9,11 @@ import (
 // (2) fast barotropic subcycle updating SSH and the depth-mean flow,
 // (3) conservative tracer transport, (4) optional FP32 group quantization
 // under the mixed-precision policy.
+//
+// After the first call warms the persistent scratch buffers, Step performs
+// zero heap allocations in the default (FP64, no Ri mixing) configuration
+// on a single-rank block — the steady-state property the allocation
+// regression test pins.
 func (o *Ocean) Step() {
 	dt := o.Cfg.DtBaroclinic
 	o.baroclinicMomentum(dt)
@@ -29,6 +34,33 @@ func (o *Ocean) Step() {
 	o.steps++
 }
 
+// scrEnsure builds the persistent scratch and binds the row kernels once.
+func (o *Ocean) scrEnsure() *stepScratch {
+	if o.scr != nil {
+		return o.scr
+	}
+	n2 := o.LNI * o.LNJ
+	n3 := o.NL * n2
+	o.scr = &stepScratch{
+		pr:   make([]float64, n3),
+		u:    make([]float64, n3),
+		v:    make([]float64, n3),
+		t:    make([]float64, n3),
+		s:    make([]float64, n3),
+		eta:  make([]float64, n2),
+		ubar: make([]float64, n2),
+		vbar: make([]float64, n2),
+	}
+	o.scr.surfT = o.surfaceTForcing
+	o.scr.surfS = o.surfaceSForcing
+	o.kernMomentum = o.momentumRow
+	o.kernContinuity = o.continuityRow
+	o.kernBtMomentum = o.btMomentumRow
+	o.kernSplit = o.splitRow
+	o.kernAdv = o.advectRow
+	return o.scr
+}
+
 // baroclinicMomentum applies Coriolis, surface-slope and baroclinic
 // pressure gradients, wind stress, Laplacian viscosity, and bottom drag to
 // the 3-D velocity.
@@ -43,9 +75,13 @@ func (o *Ocean) baroclinicMomentum(dt float64) {
 	o.B.ExchangeVec(o.TauX)
 	o.B.ExchangeVec(o.TauY)
 
+	s := o.scrEnsure()
+	s.dt = dt
 	n2 := o.LNI * o.LNJ
 	// Hydrostatic baroclinic pressure p'(k) at cell centers, halos included.
-	pr := make([]float64, o.NL*n2)
+	// The persistent buffer is not zeroed between calls: the momentum kernel
+	// only reads pr at wet faces, i.e. within the kmt range of both adjacent
+	// columns, and exactly those entries are rewritten here every call.
 	for idx := 0; idx < n2; idx++ {
 		if !o.maskT[idx] {
 			continue
@@ -54,66 +90,72 @@ func (o *Ocean) baroclinicMomentum(dt float64) {
 		for k := 0; k < o.kmt[idx]; k++ {
 			i3 := k*n2 + idx
 			acc += Gravity * Rho(o.T[i3], o.S[i3]) * o.dz[k]
-			pr[i3] = acc
+			s.pr[i3] = acc
 		}
 	}
 
-	newU := make([]float64, len(o.U))
-	copy(newU, o.U)
-	newV := make([]float64, len(o.V))
-	copy(newV, o.V)
+	copy(s.u, o.U)
+	copy(s.v, o.V)
+	o.Sp.ParallelFor(o.B.NJ, o.kernMomentum)
+	o.U, s.u = s.u, o.U
+	o.V, s.v = s.v, o.V
+}
 
-	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
-		jg := o.B.J0 + lj
-		f := o.G.Coriolis(jg)
-		dxT := o.G.DX[jg]
-		dy := o.G.DY
-		for li := 0; li < o.B.NI; li++ {
-			c := o.idx2(li, lj)
-			e := c + 1
-			n := c + o.LNI
-			for k := 0; k < o.NL; k++ {
-				i3 := k*n2 + c
-				// U face (east of cell li).
-				if o.faceWetU(k, li, lj) {
-					// Average V onto the U point (4-point).
-					vav := 0.25 * (o.V[i3] + o.V[i3+1] + o.V[i3-o.LNI] + o.V[i3-o.LNI+1])
-					du := f * vav
-					du -= Gravity * (o.Eta[e] - o.Eta[c]) / dxT
-					du -= (pr[k*n2+e] - pr[k*n2+c]) / (Rho0 * dxT)
-					du += o.Cfg.AH * o.lap(o.U, k, li, lj, dxT, dy)
-					if k == 0 {
-						tau := 0.5 * (o.TauX[c] + o.TauX[e])
-						du += tau / (Rho0 * o.dz[0])
-					}
-					if k == minInt(o.kmt[c], o.kmt[e])-1 {
-						du -= o.Cfg.BottomDrag * o.U[i3] // Rayleigh drag
-					}
-					newU[i3] = o.U[i3] + dt*du
+// momentumRow is the baroclinic momentum kernel for one owned row. It reads
+// its step parameters from the scratch area (set by baroclinicMomentum) so
+// the kernel value is bound once instead of closed over per call.
+func (o *Ocean) momentumRow(lj int) {
+	s := o.scr
+	dt := s.dt
+	pr, newU, newV := s.pr, s.u, s.v
+	n2 := o.LNI * o.LNJ
+	jg := o.B.J0 + lj
+	f := o.G.Coriolis(jg)
+	dxT := o.G.DX[jg]
+	dy := o.G.DY
+	for li := 0; li < o.B.NI; li++ {
+		c := o.idx2(li, lj)
+		e := c + 1
+		n := c + o.LNI
+		for k := 0; k < o.NL; k++ {
+			i3 := k*n2 + c
+			// U face (east of cell li).
+			if o.faceWetU(k, li, lj) {
+				// Average V onto the U point (4-point).
+				vav := 0.25 * (o.V[i3] + o.V[i3+1] + o.V[i3-o.LNI] + o.V[i3-o.LNI+1])
+				du := f * vav
+				du -= Gravity * (o.Eta[e] - o.Eta[c]) / dxT
+				du -= (pr[k*n2+e] - pr[k*n2+c]) / (Rho0 * dxT)
+				du += o.Cfg.AH * o.lap(o.U, k, li, lj, dxT, dy)
+				if k == 0 {
+					tau := 0.5 * (o.TauX[c] + o.TauX[e])
+					du += tau / (Rho0 * o.dz[0])
 				}
-				// V face (north of cell lj).
-				if o.faceWetV(k, li, lj) {
-					fv := o.G.Coriolis(minIntCap(jg+1, o.G.NY-1))
-					fm := 0.5 * (f + fv)
-					uav := 0.25 * (o.U[i3] + o.U[i3-1] + o.U[k*n2+n] + o.U[k*n2+n-1])
-					dv := -fm * uav
-					dv -= Gravity * (o.Eta[n] - o.Eta[c]) / dy
-					dv -= (pr[k*n2+n] - pr[k*n2+c]) / (Rho0 * dy)
-					dv += o.Cfg.AH * o.lap(o.V, k, li, lj, dxT, dy)
-					if k == 0 {
-						tau := 0.5 * (o.TauY[c] + o.TauY[n])
-						dv += tau / (Rho0 * o.dz[0])
-					}
-					if k == minInt(o.kmt[c], o.kmt[n])-1 {
-						dv -= o.Cfg.BottomDrag * o.V[i3]
-					}
-					newV[i3] = o.V[i3] + dt*dv
+				if k == minInt(o.kmt[c], o.kmt[e])-1 {
+					du -= o.Cfg.BottomDrag * o.U[i3] // Rayleigh drag
 				}
+				newU[i3] = o.U[i3] + dt*du
+			}
+			// V face (north of cell lj).
+			if o.faceWetV(k, li, lj) {
+				fv := o.G.Coriolis(minIntCap(jg+1, o.G.NY-1))
+				fm := 0.5 * (f + fv)
+				uav := 0.25 * (o.U[i3] + o.U[i3-1] + o.U[k*n2+n] + o.U[k*n2+n-1])
+				dv := -fm * uav
+				dv -= Gravity * (o.Eta[n] - o.Eta[c]) / dy
+				dv -= (pr[k*n2+n] - pr[k*n2+c]) / (Rho0 * dy)
+				dv += o.Cfg.AH * o.lap(o.V, k, li, lj, dxT, dy)
+				if k == 0 {
+					tau := 0.5 * (o.TauY[c] + o.TauY[n])
+					dv += tau / (Rho0 * o.dz[0])
+				}
+				if k == minInt(o.kmt[c], o.kmt[n])-1 {
+					dv -= o.Cfg.BottomDrag * o.V[i3]
+				}
+				newV[i3] = o.V[i3] + dt*dv
 			}
 		}
-	})
-	o.U = newU
-	o.V = newV
+	}
 }
 
 // lap is the 5-point Laplacian of a 3-D field at level k, owned cell
@@ -133,94 +175,109 @@ func (o *Ocean) lap(fld []float64, k, li, lj int, dx, dy float64) float64 {
 // wave, unlike forward Euler), then replaces the depth-mean of the 3-D
 // velocity with the barotropic solution (the split-explicit correction).
 func (o *Ocean) barotropicCycle(dt float64) {
+	s := o.scrEnsure()
 	nsub := o.Cfg.NBarotropicSub
-	dtb := dt / float64(nsub)
-	for s := 0; s < nsub; s++ {
+	s.dtb = dt / float64(nsub)
+	for sub := 0; sub < nsub; sub++ {
 		o.B.ExchangeVec(o.Ubar)
 		o.B.ExchangeVec(o.Vbar)
 		o.B.Exchange(o.Eta)
 
 		// --- Continuity (forward): η from the current transports ---
-		newEta := make([]float64, len(o.Eta))
-		copy(newEta, o.Eta)
-		o.Sp.ParallelFor(o.B.NJ, func(lj int) {
-			jg := o.B.J0 + lj
-			dxT := o.G.DX[jg]
-			dy := o.G.DY
-			for li := 0; li < o.B.NI; li++ {
-				c := o.idx2(li, lj)
-				if !o.maskT[c] {
-					continue
-				}
-				e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
-				he := faceDepth(o.depth[c], o.depth[e])
-				hw := faceDepth(o.depth[w], o.depth[c])
-				hn := faceDepth(o.depth[c], o.depth[n])
-				hs := faceDepth(o.depth[sIdx], o.depth[c])
-				fe := o.Ubar[c] * he * dy
-				fw := o.Ubar[w] * hw * dy
-				fn := 0.0
-				if o.faceWetV(0, li, lj) {
-					fn = o.Vbar[c] * hn * dxT
-				}
-				fs := 0.0
-				if !o.southClosed(lj) {
-					fs = o.Vbar[sIdx] * hs * dxAt(o.G, jg-1)
-				}
-				area := dxT * dy
-				newEta[c] = o.Eta[c] - dtb*(fe-fw+fn-fs)/area
-			}
-		})
-		o.Eta = newEta
+		copy(s.eta, o.Eta)
+		o.Sp.ParallelFor(o.B.NJ, o.kernContinuity)
+		o.Eta, s.eta = s.eta, o.Eta
 		o.B.Exchange(o.Eta)
 
 		// --- Momentum (backward): transports from the new η ---
-		newUb := make([]float64, len(o.Ubar))
-		copy(newUb, o.Ubar)
-		newVb := make([]float64, len(o.Vbar))
-		copy(newVb, o.Vbar)
-		o.Sp.ParallelFor(o.B.NJ, func(lj int) {
-			jg := o.B.J0 + lj
-			f := o.G.Coriolis(jg)
-			dxT := o.G.DX[jg]
-			dy := o.G.DY
-			for li := 0; li < o.B.NI; li++ {
-				c := o.idx2(li, lj)
-				if !o.maskT[c] {
-					continue
-				}
-				e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
-				he := faceDepth(o.depth[c], o.depth[e])
-				hn := faceDepth(o.depth[c], o.depth[n])
-				if o.faceWetU(0, li, lj) {
-					vav := 0.25 * (o.Vbar[c] + o.Vbar[e] + o.Vbar[sIdx] + o.Vbar[sIdx+1])
-					du := f*vav - Gravity*(o.Eta[e]-o.Eta[c])/dxT
-					du += 0.5 * (o.TauX[c] + o.TauX[e]) / (Rho0 * maxF(he, 1))
-					du -= o.Cfg.BottomDrag * o.Ubar[c]
-					newUb[c] = o.Ubar[c] + dtb*du
-				}
-				if o.faceWetV(0, li, lj) {
-					uav := 0.25 * (o.Ubar[c] + o.Ubar[w] + o.Ubar[n] + o.Ubar[n-1])
-					dv := -f*uav - Gravity*(o.Eta[n]-o.Eta[c])/dy
-					dv += 0.5 * (o.TauY[c] + o.TauY[n]) / (Rho0 * maxF(hn, 1))
-					dv -= o.Cfg.BottomDrag * o.Vbar[c]
-					newVb[c] = o.Vbar[c] + dtb*dv
-				}
-			}
-		})
-		o.Ubar = newUb
-		o.Vbar = newVb
+		copy(s.ubar, o.Ubar)
+		copy(s.vbar, o.Vbar)
+		o.Sp.ParallelFor(o.B.NJ, o.kernBtMomentum)
+		o.Ubar, s.ubar = s.ubar, o.Ubar
+		o.Vbar, s.vbar = s.vbar, o.Vbar
 	}
 
 	// Split correction: impose the barotropic depth-mean on the 3-D field.
-	n2 := o.LNI * o.LNJ
-	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
-		for li := 0; li < o.B.NI; li++ {
-			c := o.idx2(li, lj)
-			o.imposeMean(o.U, o.Ubar, c, minInt(o.kmt[c], o.kmt[c+1]), n2)
-			o.imposeMean(o.V, o.Vbar, c, minInt(o.kmt[c], o.kmt[c+o.LNI]), n2)
+	o.Sp.ParallelFor(o.B.NJ, o.kernSplit)
+}
+
+// continuityRow is the barotropic continuity kernel for one owned row,
+// writing the updated η into the scratch double buffer.
+func (o *Ocean) continuityRow(lj int) {
+	s := o.scr
+	dtb := s.dtb
+	newEta := s.eta
+	jg := o.B.J0 + lj
+	dxT := o.G.DX[jg]
+	dy := o.G.DY
+	for li := 0; li < o.B.NI; li++ {
+		c := o.idx2(li, lj)
+		if !o.maskT[c] {
+			continue
 		}
-	})
+		e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
+		he := faceDepth(o.depth[c], o.depth[e])
+		hw := faceDepth(o.depth[w], o.depth[c])
+		hn := faceDepth(o.depth[c], o.depth[n])
+		hs := faceDepth(o.depth[sIdx], o.depth[c])
+		fe := o.Ubar[c] * he * dy
+		fw := o.Ubar[w] * hw * dy
+		fn := 0.0
+		if o.faceWetV(0, li, lj) {
+			fn = o.Vbar[c] * hn * dxT
+		}
+		fs := 0.0
+		if !o.southClosed(lj) {
+			fs = o.Vbar[sIdx] * hs * dxAt(o.G, jg-1)
+		}
+		area := dxT * dy
+		newEta[c] = o.Eta[c] - dtb*(fe-fw+fn-fs)/area
+	}
+}
+
+// btMomentumRow is the barotropic momentum kernel for one owned row,
+// writing the updated transports into the scratch double buffers.
+func (o *Ocean) btMomentumRow(lj int) {
+	s := o.scr
+	dtb := s.dtb
+	newUb, newVb := s.ubar, s.vbar
+	jg := o.B.J0 + lj
+	f := o.G.Coriolis(jg)
+	dxT := o.G.DX[jg]
+	dy := o.G.DY
+	for li := 0; li < o.B.NI; li++ {
+		c := o.idx2(li, lj)
+		if !o.maskT[c] {
+			continue
+		}
+		e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
+		he := faceDepth(o.depth[c], o.depth[e])
+		hn := faceDepth(o.depth[c], o.depth[n])
+		if o.faceWetU(0, li, lj) {
+			vav := 0.25 * (o.Vbar[c] + o.Vbar[e] + o.Vbar[sIdx] + o.Vbar[sIdx+1])
+			du := f*vav - Gravity*(o.Eta[e]-o.Eta[c])/dxT
+			du += 0.5 * (o.TauX[c] + o.TauX[e]) / (Rho0 * maxF(he, 1))
+			du -= o.Cfg.BottomDrag * o.Ubar[c]
+			newUb[c] = o.Ubar[c] + dtb*du
+		}
+		if o.faceWetV(0, li, lj) {
+			uav := 0.25 * (o.Ubar[c] + o.Ubar[w] + o.Ubar[n] + o.Ubar[n-1])
+			dv := -f*uav - Gravity*(o.Eta[n]-o.Eta[c])/dy
+			dv += 0.5 * (o.TauY[c] + o.TauY[n]) / (Rho0 * maxF(hn, 1))
+			dv -= o.Cfg.BottomDrag * o.Vbar[c]
+			newVb[c] = o.Vbar[c] + dtb*dv
+		}
+	}
+}
+
+// splitRow applies the split correction to one owned row.
+func (o *Ocean) splitRow(lj int) {
+	n2 := o.LNI * o.LNJ
+	for li := 0; li < o.B.NI; li++ {
+		c := o.idx2(li, lj)
+		o.imposeMean(o.U, o.Ubar, c, minInt(o.kmt[c], o.kmt[c+1]), n2)
+		o.imposeMean(o.V, o.Vbar, c, minInt(o.kmt[c], o.kmt[c+o.LNI]), n2)
+	}
 }
 
 // imposeMean shifts a velocity column so its depth mean equals the
@@ -248,8 +305,11 @@ func (o *Ocean) tracerStep(dt float64) {
 	o.exchange3D(o.S, false)
 	o.exchange3D(o.U, true)
 	o.exchange3D(o.V, true)
-	o.T = o.advectDiffuse(o.T, dt, o.surfaceTForcing)
-	o.S = o.advectDiffuse(o.S, dt, o.surfaceSForcing)
+	s := o.scrEnsure()
+	o.advectDiffuseInto(o.T, s.t, dt, s.surfT)
+	o.T, s.t = s.t, o.T
+	o.advectDiffuseInto(o.S, s.s, dt, s.surfS)
+	o.S, s.s = s.s, o.S
 }
 
 func (o *Ocean) surfaceTForcing(c int) float64 {
@@ -260,25 +320,36 @@ func (o *Ocean) surfaceSForcing(c int) float64 {
 	return o.FWFlux[c]
 }
 
-// advectDiffuse computes one conservative tracer update. Fluxes are
-// evaluated once per face from the cell pair it separates, so the sum of
-// tracer content changes only through the (zero) boundary and the surface
-// forcing — the conservation property the tests assert.
-// advectDiffuse computes one conservative tracer update. Fluxes are
-// evaluated once per face from the cell pair it separates, so the sum of
-// tracer content changes only through the (zero) boundary and the surface
-// forcing — the conservation property the tests assert.
+// advectDiffuse computes one conservative tracer update into a fresh slice.
+// It is the allocating convenience form kept for the compact-sweep
+// comparisons; the stepping hot path uses advectDiffuseInto.
 func (o *Ocean) advectDiffuse(tr []float64, dt float64, surf func(c int) float64) []float64 {
 	out := make([]float64, len(tr))
-	copy(out, tr)
-	o.Sp.ParallelFor(o.B.NJ, func(lj int) {
-		for li := 0; li < o.B.NI; li++ {
-			if o.maskT[o.idx2(li, lj)] {
-				o.updateColumn(tr, out, dt, li, lj, surf)
-			}
-		}
-	})
+	o.advectDiffuseInto(tr, out, dt, surf)
 	return out
+}
+
+// advectDiffuseInto computes one conservative tracer update from tr into
+// out (len(out) == len(tr); non-updated entries keep their input values).
+// Fluxes are evaluated once per face from the cell pair it separates, so
+// the sum of tracer content changes only through the (zero) boundary and
+// the surface forcing — the conservation property the tests assert.
+func (o *Ocean) advectDiffuseInto(tr, out []float64, dt float64, surf func(c int) float64) {
+	copy(out, tr)
+	s := o.scrEnsure()
+	s.advTr, s.advOut, s.advDt, s.advSurf = tr, out, dt, surf
+	o.Sp.ParallelFor(o.B.NJ, o.kernAdv)
+	s.advTr, s.advOut, s.advSurf = nil, nil, nil
+}
+
+// advectRow is the tracer advection–diffusion kernel for one owned row.
+func (o *Ocean) advectRow(lj int) {
+	s := o.scr
+	for li := 0; li < o.B.NI; li++ {
+		if o.maskT[o.idx2(li, lj)] {
+			o.updateColumn(s.advTr, s.advOut, s.advDt, li, lj, s.advSurf)
+		}
+	}
 }
 
 // updateColumn applies the conservative advection–diffusion update to every

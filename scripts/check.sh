@@ -1,7 +1,8 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
-# tests, a short fuzz of the restart-file decoder, and the short SYPD
-# benchmark writing BENCH_1.json at the repo root.
+# tests, a dedicated race stress lap over the concurrent component
+# schedule, a short fuzz of the restart-file decoder, and the two
+# benchmarks writing BENCH_1.json and BENCH_2.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -13,7 +14,14 @@ echo "== go build"
 go build ./...
 echo "== go test -race"
 go test -race ./...
+echo "== conc schedule race stress (2 ranks, p2p rearrange)"
+go test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
 echo "== bench1"
 go run ./cmd/bench1 -out BENCH_1.json
+echo "== bench2 smoke (schema self-validation)"
+go run ./cmd/bench2 -steps 6 -out /tmp/bench2_smoke.json
+rm -f /tmp/bench2_smoke.json
+echo "== bench2"
+go run ./cmd/bench2 -out BENCH_2.json
