@@ -1,12 +1,12 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
 # race-enabled tests (including the concurrent-schedule stress lap), the
-# restart-decoder fuzz smoke, and the two benchmarks (BENCH_1.json,
-# BENCH_2.json).
+# restart-decoder fuzz smoke, the conservation-budget gate, and the two
+# benchmarks (BENCH_1.json, BENCH_2.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc fuzz check bench bench2 clean
+.PHONY: all build vet test race race-conc fuzz budget check bench bench2 clean
 
 all: check
 
@@ -28,13 +28,16 @@ race-conc:
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 
+budget:
+	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -audit-gate 1e-10
+
 bench:
 	$(GO) run ./cmd/bench1 -out BENCH_1.json
 
 bench2:
 	$(GO) run ./cmd/bench2 -out BENCH_2.json
 
-check: vet build race race-conc fuzz bench bench2
+check: vet build race race-conc fuzz budget bench bench2
 
 clean:
 	rm -f BENCH_1.json BENCH_2.json

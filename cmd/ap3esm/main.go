@@ -35,6 +35,9 @@ func main() {
 	ckDir := flag.String("restart-dir", "restart", "restart-set directory for -checkpoint-every")
 	maxRetries := flag.Int("max-retries", 3, "consecutive failed recoveries before giving up")
 	schedName := flag.String("schedule", "seq", "component schedule: seq (sequential groups) or conc (overlapped ocean/atmosphere)")
+	remapName := flag.String("remap", "nn", "air-sea flux remap: nn (nearest-neighbour) or cons (first-order conservative)")
+	audit := flag.Bool("audit", false, "record the per-coupling-interval conservation budget and print the ledger report")
+	auditGate := flag.Float64("audit-gate", 0, "fail if the max relative heat/freshwater residual exceeds this (0 = report only; implies -audit)")
 	flag.Parse()
 
 	cfg, err := core.ConfigForLabel(*label)
@@ -44,6 +47,13 @@ func main() {
 	sched, err := core.ParseSchedule(*schedName)
 	if err != nil {
 		log.Fatal(err)
+	}
+	remap, err := core.ParseRemap(*remapName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *auditGate > 0 {
+		*audit = true
 	}
 	if *mixed {
 		cfg.Policy = precision.Mixed
@@ -93,7 +103,9 @@ func main() {
 				core.WithInterval(start, stop),
 				core.WithSpace(sp),
 				core.WithObserver(observer),
-				core.WithSchedule(sched))
+				core.WithSchedule(sched),
+				core.WithRemap(remap),
+				core.WithAudit(*audit))
 		}
 		e, err := mk()
 		if err != nil {
@@ -140,6 +152,19 @@ func main() {
 			sypd := (e.SimulatedSeconds() / elapsed) * 86400 / (365 * 86400)
 			fmt.Printf("completed %.2f simulated days in %.1f s wall -> %.2f SYPD (miniature configuration)\n",
 				daysRun, elapsed, sypd)
+		}
+		if l := e.Budget(); l != nil {
+			// The ledger terms are identical on every rank (replicated
+			// atmosphere sums, allreduced ocean sums): rank 0 reports, every
+			// rank agrees on the gate verdict.
+			s := l.Summary()
+			if c.Rank() == 0 {
+				fmt.Printf("conservation budget (%s remap):\n%s", remap, l.Report())
+			}
+			if g := *auditGate; g > 0 && (s.MaxHeatResid > g || s.MaxFWResid > g) {
+				log.Fatalf("budget gate: max residual heat %.3e / fw %.3e exceeds %.1e",
+					s.MaxHeatResid, s.MaxFWResid, g)
+			}
 		}
 		if sink != nil {
 			rows := e.TimingReport() // collective: every rank participates

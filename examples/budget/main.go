@@ -1,0 +1,70 @@
+// Budget: audit the coupled energy and freshwater budget across the
+// air–sea interface (§5.1.1) under the two flux remap modes. The
+// nearest-neighbour path samples the atmosphere at each ocean cell's
+// closest column, so the globally integrated flux the atmosphere exports
+// and the flux the ocean receives disagree by a systematic residual; the
+// first-order conservative remap delivers exactly the area-weighted
+// export, closing the ledger to round-off. The demo runs both modes on
+// two ranks with the audit on and prints the full interval ledger for the
+// conservative run plus the side-by-side residual comparison.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/budget"
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/pp"
+)
+
+func main() {
+	log.SetFlags(0)
+	cfg, err := core.ConfigForLabel("25v10")
+	if err != nil {
+		log.Fatal(err)
+	}
+	const ranks, steps = 2, 50 // 10 ocean coupling intervals
+
+	run := func(remap core.RemapMode) (budget.Summary, string) {
+		var s budget.Summary
+		var report string
+		par.Run(ranks, func(c *par.Comm) {
+			e, err := core.NewWithOptions(cfg, c,
+				core.WithSpace(pp.Serial{}),
+				core.WithSchedule(core.ScheduleConc),
+				core.WithRemap(remap),
+				core.WithAudit(true))
+			if err != nil {
+				log.Fatal(err)
+			}
+			for i := 0; i < steps; i++ {
+				e.Step()
+			}
+			// The ledger is identical on every rank (replicated atmosphere
+			// sums, allreduced ocean sums); take rank 0's copy.
+			if c.Rank() == 0 {
+				s = e.Budget().Summary()
+				report = e.Budget().Report()
+			}
+		})
+		return s, report
+	}
+
+	nn, _ := run(core.RemapNN)
+	cons, consReport := run(core.RemapCons)
+
+	fmt.Printf("%s, %d ranks, %d base steps, concurrent schedule\n\n", cfg.Label, ranks, steps)
+	fmt.Println("conservative-remap ledger (one line per ocean coupling interval):")
+	fmt.Print(consReport)
+	fmt.Println()
+	fmt.Println("nearest-neighbour vs conservative residuals:")
+	fmt.Print(budget.FormatComparison(nn, cons))
+	if cons.MaxHeatResid <= 1e-10 && cons.MaxFWResid <= 1e-10 {
+		fmt.Println("\nconservative remap closes the coupled budget to round-off.")
+	} else {
+		fmt.Printf("\nWARNING: conservative residuals above round-off (heat %.3e, fw %.3e)\n",
+			cons.MaxHeatResid, cons.MaxFWResid)
+	}
+}

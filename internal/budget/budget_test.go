@@ -1,0 +1,138 @@
+package budget
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+type fakeObs struct{ gauges map[string]float64 }
+
+func (f *fakeObs) SetGauge(name string, v float64) {
+	if f.gauges == nil {
+		f.gauges = map[string]float64{}
+	}
+	f.gauges[name] = v
+}
+
+func TestResidualMath(t *testing.T) {
+	iv := Interval{
+		HeatAtmCpl: 1e15, HeatCplOcn: 1e15 + 1e5, HeatGross: 2e15,
+		FWAtmCpl: 10, FWCplOcn: 10, FWGross: 1e6,
+	}
+	// |1e5| / max(2e15, ...) = 5e-11.
+	if got, want := iv.HeatResid(), 1e5/2e15; math.Abs(got-want) > 1e-25 {
+		t.Errorf("HeatResid = %g, want %g", got, want)
+	}
+	if iv.FWResid() != 0 {
+		t.Errorf("FWResid = %g, want 0 for exact agreement", iv.FWResid())
+	}
+	// Zero everything: residual is 0, not NaN.
+	if r := (Interval{}).HeatResid(); r != 0 {
+		t.Errorf("empty interval HeatResid = %g", r)
+	}
+	// The gross denominator must prevent cancellation inflation: a tiny net
+	// over a large gross interface stays a tiny relative residual.
+	iv = Interval{HeatAtmCpl: 1, HeatCplOcn: 2, HeatGross: 1e12}
+	if r := iv.HeatResid(); r > 1e-11 {
+		t.Errorf("cancellation-dominated residual %g not scaled by gross", r)
+	}
+	if got, want := iv.SaltCplOcn(), 0.0; got != want {
+		t.Errorf("SaltCplOcn on zero fw = %g", got)
+	}
+	iv.FWCplOcn = 2000
+	if got, want := iv.SaltCplOcn(), 35.0/1000.0*2000; got != want {
+		t.Errorf("SaltCplOcn = %g, want %g", got, want)
+	}
+}
+
+func TestLedgerRecordStreamsGauges(t *testing.T) {
+	ob := &fakeObs{}
+	l := NewLedger(ob)
+	l.Record(Interval{
+		Seconds: 2400, HeatSW: 1, HeatLW: -2, HeatSens: -3, HeatLat: -4,
+		HeatAtmCpl: -8, HeatCplOcn: -8, HeatGross: 10, HeatIceOcn: 0.5,
+		FWAtmCpl: 6, FWCplOcn: 6, FWGross: 7,
+		OcnHeat: 1e22, OcnSalt: 1e18, IceFW: 1e15, LndWater: 1e14, AtmWater: 1e13,
+		UnmappedCells: 3,
+	})
+	want := map[string]float64{
+		"budget.heat.sw":        1,
+		"budget.heat.lw":        -2,
+		"budget.heat.sens":      -3,
+		"budget.heat.lat":       -4,
+		"budget.heat.atm_cpl":   -8,
+		"budget.heat.cpl_ocn":   -8,
+		"budget.heat.ice_ocn":   0.5,
+		"budget.heat.resid":     0,
+		"budget.fw.atm_cpl":     6,
+		"budget.fw.cpl_ocn":     6,
+		"budget.fw.resid":       0,
+		"budget.salt.cpl_ocn":   Interval{FWCplOcn: 6}.SaltCplOcn(),
+		"budget.store.ocn_heat": 1e22,
+		"budget.store.ocn_salt": 1e18,
+		"budget.store.ice_fw":   1e15,
+		"budget.store.lnd_water": 1e14,
+		"budget.store.atm_water": 1e13,
+		"budget.unmapped.cells":  3,
+	}
+	for name, v := range want {
+		got, ok := ob.gauges[name]
+		if !ok {
+			t.Errorf("gauge %q not streamed", name)
+		} else if got != v {
+			t.Errorf("gauge %q = %g, want %g", name, got, v)
+		}
+	}
+	if got := len(l.Intervals()); got != 1 {
+		t.Fatalf("Intervals len = %d", got)
+	}
+	if l.Intervals()[0].Index != 0 {
+		t.Errorf("first interval index = %d", l.Intervals()[0].Index)
+	}
+	// A nil observer must be record-only, not a crash.
+	NewLedger(nil).Record(Interval{})
+}
+
+func TestSummaryAndReport(t *testing.T) {
+	l := NewLedger(nil)
+	l.Record(Interval{HeatAtmCpl: 100, HeatCplOcn: 101, HeatGross: 100,
+		FWAtmCpl: 10, FWCplOcn: 10, FWGross: 10, OcnHeat: 5, IceFW: 2})
+	l.Record(Interval{HeatAtmCpl: 100, HeatCplOcn: 100, HeatGross: 100,
+		FWAtmCpl: 10, FWCplOcn: 12, FWGross: 12, OcnHeat: 8, IceFW: 1, UnmappedCells: 4})
+	s := l.Summary()
+	if s.N != 2 {
+		t.Fatalf("N = %d", s.N)
+	}
+	if want := 1.0 / 101; math.Abs(s.MaxHeatResid-want) > 1e-15 {
+		t.Errorf("MaxHeatResid = %g, want %g", s.MaxHeatResid, want)
+	}
+	if want := (1.0 / 101) / 2; math.Abs(s.MeanHeatResid-want) > 1e-15 {
+		t.Errorf("MeanHeatResid = %g, want %g", s.MeanHeatResid, want)
+	}
+	if want := 2.0 / 12; math.Abs(s.MaxFWResid-want) > 1e-15 {
+		t.Errorf("MaxFWResid = %g, want %g", s.MaxFWResid, want)
+	}
+	if s.UnmappedCells != 4 {
+		t.Errorf("UnmappedCells = %d", s.UnmappedCells)
+	}
+	if s.HeatAtmCplMean != 100 || s.FWAtmCplMean != 10 {
+		t.Errorf("mean transports = %g, %g", s.HeatAtmCplMean, s.FWAtmCplMean)
+	}
+
+	rep := l.Report()
+	for _, frag := range []string{"heat atm→cpl", "intervals 2", "unmapped cells 4", "heat resid"} {
+		if !strings.Contains(rep, frag) {
+			t.Errorf("Report missing %q:\n%s", frag, rep)
+		}
+	}
+	// Derived storage deltas: second line shows Δocn heat = 3, Δice fw = -1.
+	if !strings.Contains(rep, "3.000e+00") || !strings.Contains(rep, "-1.000e+00") {
+		t.Errorf("Report missing storage deltas:\n%s", rep)
+	}
+
+	cmp := FormatComparison(s, s)
+	if !strings.Contains(cmp, "nn") || !strings.Contains(cmp, "cons") {
+		t.Errorf("FormatComparison missing rows:\n%s", cmp)
+	}
+}

@@ -16,22 +16,36 @@ import (
 type atmComp struct{ e *ESM }
 
 func (a *atmComp) Name() string { return "atm" }
+// atmExchangeFields is the atmosphere's export list: the split air–sea flux
+// parts (the budget ledger's per-interface terms) replace the former
+// aggregate qheat_parts/fwflux_parts placeholders.
+var atmExchangeFields = []string{
+	"taux", "tauy", "qsw", "qlw", "qsens", "qlat", "fwflux",
+	"tair", "uwind", "vwind",
+}
+
 func (a *atmComp) Init() (exports, imports []string, err error) {
-	return []string{"taux", "tauy", "qheat_parts", "fwflux_parts", "tair", "uwind", "vwind"},
-		[]string{"sst", "ifrac"}, nil
+	return atmExchangeFields, []string{"sst", "ifrac"}, nil
 }
 func (a *atmComp) Run(dt time.Duration) error { a.e.atmosphereStep(); return nil }
 func (a *atmComp) Export() (*coupler.AttrVect, error) {
 	m := a.e.Atm
 	nc := m.Mesh.NCells()
-	av, err := coupler.NewAttrVect([]string{"taux", "tauy", "qheat_parts", "fwflux_parts", "tair", "uwind", "vwind"}, nc)
+	av, err := coupler.NewAttrVect(atmExchangeFields, nc)
 	if err != nil {
 		return nil, err
 	}
-	copy(av.MustField("taux"), m.TauX)
-	copy(av.MustField("tauy"), m.TauY)
-	copy(av.MustField("qheat_parts"), m.SHF)
-	copy(av.MustField("fwflux_parts"), m.Precip)
+	if a.e.af == nil {
+		a.e.af = newAtmFluxes(nc)
+	}
+	a.e.computeAtmFluxes()
+	copy(av.MustField("taux"), a.e.af.taux)
+	copy(av.MustField("tauy"), a.e.af.tauy)
+	copy(av.MustField("qsw"), a.e.af.sw)
+	copy(av.MustField("qlw"), a.e.af.lw)
+	copy(av.MustField("qsens"), a.e.af.sens)
+	copy(av.MustField("qlat"), a.e.af.lat)
+	copy(av.MustField("fwflux"), a.e.af.emp)
 	kb := m.NLev - 1
 	copy(av.MustField("tair"), m.T[kb*nc:(kb+1)*nc])
 	u, v := m.Wind10m()
@@ -59,7 +73,7 @@ type ocnComp struct{ e *ESM }
 func (o *ocnComp) Name() string { return "ocn" }
 func (o *ocnComp) Init() (exports, imports []string, err error) {
 	return []string{"sst"},
-		[]string{"taux", "tauy", "qheat_parts", "fwflux_parts", "freezeheat"}, nil
+		[]string{"taux", "tauy", "qsw", "qlw", "qsens", "qlat", "fwflux", "freezeheat"}, nil
 }
 func (o *ocnComp) Run(dt time.Duration) error { o.e.oceanImport(); o.e.oceanSubsteps(); return nil }
 func (o *ocnComp) Export() (*coupler.AttrVect, error) {
@@ -89,8 +103,25 @@ func (o *ocnComp) Import(av *coupler.AttrVect) error {
 	}
 	set("taux", oc.TauX)
 	set("tauy", oc.TauY)
-	set("qheat_parts", oc.QHeat)
-	set("fwflux_parts", oc.FWFlux)
+	// Reassemble net heat from the split parts plus the same-grid ice term.
+	parts := make([][]float64, 0, 5)
+	for _, name := range []string{"qsw", "qlw", "qsens", "qlat", "freezeheat"} {
+		if f, err := av.Field(name); err == nil {
+			parts = append(parts, f)
+		}
+	}
+	if len(parts) > 0 {
+		for lj := 0; lj < b.NJ; lj++ {
+			for li := 0; li < b.NI; li++ {
+				var q float64
+				for _, f := range parts {
+					q += f[lj*b.NI+li]
+				}
+				oc.QHeat[o.e.ocnIdx2(li, lj)] = q
+			}
+		}
+	}
+	set("fwflux", oc.FWFlux)
 	return nil
 }
 func (o *ocnComp) Finalize() error { return nil }

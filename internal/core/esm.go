@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/atmos"
+	"repro/internal/budget"
 	"repro/internal/coupler"
 	"repro/internal/fault"
 	"repro/internal/grid"
@@ -57,6 +58,31 @@ type ESM struct {
 	ocnDone    chan time.Duration
 	overlapSum float64
 	overlapN   int
+
+	// Flux remap mode, the conservation-audit ledger (nil when auditing is
+	// off), and the persistent per-atmosphere-cell flux-part buffers used by
+	// the conservative remap and the audit's export-side integrals (nil when
+	// neither needs them).
+	remap  RemapMode
+	ledger *budget.Ledger
+	af     *atmFluxes
+}
+
+// atmFluxes holds the per-atmosphere-cell air–sea flux parts, positive into
+// the ocean, with the open-water fraction already folded in.
+type atmFluxes struct {
+	sw, lw, sens, lat, qnet []float64 // W/m²
+	emp                     []float64 // evaporation − precipitation, kg/m²/s
+	taux, tauy              []float64 // N/m²
+}
+
+func newAtmFluxes(n int) *atmFluxes {
+	return &atmFluxes{
+		sw: make([]float64, n), lw: make([]float64, n),
+		sens: make([]float64, n), lat: make([]float64, n),
+		qnet: make([]float64, n), emp: make([]float64, n),
+		taux: make([]float64, n), tauy: make([]float64, n),
+	}
 }
 
 // New assembles the coupled model over the communicator for the simulated
@@ -136,6 +162,24 @@ func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
 		obs:      ob,
 		schedule: opt.schedule,
 		ocnDone:  make(chan time.Duration, 1),
+		remap:    opt.remap,
+	}
+
+	// Route the unmapped atmosphere cells — non-land cells whose spiral
+	// search found no wet ocean column — to the land model so their surface
+	// exchange is never silently dropped: the land model adopts them and the
+	// atmosphere treats them as land columns.
+	if len(e.Rg.Unmapped) > 0 {
+		lnd.Adopt(atm.Mesh, e.Rg.Unmapped)
+		for _, cell := range e.Rg.Unmapped {
+			atm.IsLand[cell] = true
+		}
+	}
+	if opt.remap == RemapCons || opt.audit {
+		e.af = newAtmFluxes(atm.Mesh.NCells())
+	}
+	if opt.audit {
+		e.ledger = budget.NewLedger(ob)
 	}
 
 	// Ocean steps per ocean coupling interval.
@@ -326,25 +370,50 @@ func (e *ESM) iceStep() {
 	e.applySurfaceToAtmos()
 }
 
-// oceanImport computes the air–sea fluxes on the ocean grid — the flux
-// coupler's job in CPL7: turbulent fluxes use the atmosphere's lowest-level
-// state at the nearest cell together with the ocean's *own* SST, so coastal
-// columns are never contaminated by land skin temperatures. It is the
-// ocean group's import barrier: everything it reads from the atmosphere
-// and ice is the state exported at the end of the previous base step, so
-// it runs before the groups advance under either schedule.
+// Bulk air–sea flux constants, shared by the ocean-grid (nearest) and
+// atmosphere-grid (conservative) flux computations.
+const (
+	oceanAlbedo = 0.07
+	oceanEmiss  = 0.97
+	sigmaSB     = 5.670e-8
+	bulkCd      = 1.3e-3
+	bulkCh      = 1.0e-3
+	bulkCe      = 1.2e-3
+	rhoAirSfc   = 1.2
+)
+
+// oceanImport is the ocean group's import barrier — the flux coupler's job
+// in CPL7: compute the air–sea fluxes and hand them to the ocean. Everything
+// it reads from the atmosphere and ice is the state exported at the end of
+// the previous base step, so it runs before the groups advance (on the
+// driver goroutine under both schedules, which also makes the audit's
+// collectives safe). RemapNN computes fluxes on the ocean grid from the
+// nearest atmosphere cell; RemapCons computes them per atmosphere cell and
+// delivers the conservative overlap average. When auditing, the ledger
+// records the interval's interface and storage terms afterwards.
 func (e *ESM) oceanImport() {
+	if e.af != nil {
+		e.computeAtmFluxes()
+	}
+	if e.remap == RemapCons {
+		e.importConservative()
+	} else {
+		e.importNearest()
+	}
+	if e.ledger != nil {
+		e.auditRecord()
+	}
+}
+
+// importNearest computes the air–sea fluxes on the ocean grid: turbulent
+// fluxes use the atmosphere's lowest-level state at the nearest cell
+// together with the ocean's *own* SST, so coastal columns are never
+// contaminated by land skin temperatures. Spot-accurate, but the
+// area-integrated flux differs from what the atmosphere exports — the leak
+// the budget ledger measures and RemapCons closes.
+func (e *ESM) importNearest() {
 	o := e.Ocn
 	b := o.B
-	const (
-		oceanAlbedo = 0.07
-		emiss       = 0.97
-		sb          = 5.670e-8
-		cd          = 1.3e-3
-		ch          = 1.0e-3
-		ce          = 1.2e-3
-		rhoAir      = 1.2
-	)
 	nc := e.Atm.Mesh.NCells()
 	kb := e.Atm.NLev - 1
 	u10, v10 := e.Atm.Wind10m()
@@ -363,19 +432,19 @@ func (e *ESM) oceanImport() {
 			qair := e.Atm.Qv[kb*nc+ac]
 
 			// Momentum: bulk stress from the local wind, attenuated by ice.
-			o.TauX[idx] = rhoAir * cd * wind * u10[ac] * open
-			o.TauY[idx] = rhoAir * cd * wind * v10[ac] * open
+			o.TauX[idx] = rhoAirSfc * bulkCd * wind * u10[ac] * open
+			o.TauY[idx] = rhoAirSfc * bulkCd * wind * v10[ac] * open
 
 			// Turbulent heat fluxes against the ocean's own SST.
-			shf := rhoAir * atmos.Cpd * ch * wind * (sstK - tair)
-			evap := rhoAir * ce * wind * (qsatSea(sstK) - qair)
+			shf := rhoAirSfc * atmos.Cpd * bulkCh * wind * (sstK - tair)
+			evap := rhoAirSfc * bulkCe * wind * (qsatSea(sstK) - qair)
 			if evap < 0 {
 				evap = 0
 			}
 			lhf := atmos.LatVap * evap
 
 			qnet := (1-oceanAlbedo)*e.Atm.GSW[ac] +
-				emiss*(e.Atm.GLW[ac]-sb*sstK*sstK*sstK*sstK) -
+				oceanEmiss*(e.Atm.GLW[ac]-sigmaSB*sstK*sstK*sstK*sstK) -
 				shf - lhf
 			o.QHeat[idx] = qnet*open + e.Ice.FreezeHeat[idx]
 			// Freshwater: (evaporation − precipitation) concentrates salt.
@@ -384,6 +453,135 @@ func (e *ESM) oceanImport() {
 		}
 	}
 }
+
+// computeAtmFluxes fills the per-atmosphere-cell flux parts from the
+// atmosphere-visible surface state (its imported SST and ice fraction), with
+// the open-water fraction folded in. Land and zero-overlap cells hold zero
+// — destination-area normalization: their overlap weight stays in the
+// conservative rows, damping coastal fluxes instead of breaking the
+// conservation identity.
+func (e *ESM) computeAtmFluxes() {
+	a := e.Atm
+	nc := a.Mesh.NCells()
+	kb := a.NLev - 1
+	u10, v10 := a.Wind10m()
+	f := e.af
+	for c := 0; c < nc; c++ {
+		if a.IsLand[c] || e.Rg.AtmOverlapArea[c] == 0 {
+			f.sw[c], f.lw[c], f.sens[c], f.lat[c], f.qnet[c] = 0, 0, 0, 0, 0
+			f.emp[c], f.taux[c], f.tauy[c] = 0, 0, 0
+			continue
+		}
+		open := 1 - a.IceFrac[c]
+		sstK := a.SST[c]
+		wind := math.Hypot(u10[c], v10[c])
+		tair := a.T[kb*nc+c]
+		qair := a.Qv[kb*nc+c]
+
+		shf := rhoAirSfc * atmos.Cpd * bulkCh * wind * (sstK - tair)
+		evap := rhoAirSfc * bulkCe * wind * (qsatSea(sstK) - qair)
+		if evap < 0 {
+			evap = 0
+		}
+		f.sw[c] = (1 - oceanAlbedo) * a.GSW[c] * open
+		f.lw[c] = oceanEmiss * (a.GLW[c] - sigmaSB*sstK*sstK*sstK*sstK) * open
+		f.sens[c] = -shf * open
+		f.lat[c] = -atmos.LatVap * evap * open
+		f.qnet[c] = f.sw[c] + f.lw[c] + f.sens[c] + f.lat[c]
+		f.emp[c] = evap - a.Precip[c]
+		f.taux[c] = rhoAirSfc * bulkCd * wind * u10[c] * open
+		f.tauy[c] = rhoAirSfc * bulkCd * wind * v10[c] * open
+	}
+}
+
+// importConservative delivers the per-atmosphere-cell flux parts to each
+// owned wet ocean column through the normalized overlap weights, so the
+// area-integrated flux the ocean imports equals what the atmosphere
+// exported to round-off. The ice→ocean freeze heat is a local same-grid
+// term added after the remap.
+func (e *ESM) importConservative() {
+	o := e.Ocn
+	b := o.B
+	f := e.af
+	h0 := firstLayerDepth(o)
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			gi := b.GIdx(li, lj)
+			if !o.G.Mask[gi] {
+				continue
+			}
+			o.TauX[idx] = e.Rg.ConsRemap(f.taux, gi)
+			o.TauY[idx] = e.Rg.ConsRemap(f.tauy, gi)
+			o.QHeat[idx] = e.Rg.ConsRemap(f.qnet, gi) + e.Ice.FreezeHeat[idx]
+			emp := e.Rg.ConsRemap(f.emp, gi)
+			o.FWFlux[idx] = ocean.SRef * emp / (ocean.Rho0 * h0)
+		}
+	}
+}
+
+// auditRecord tallies one coupling interval into the ledger: the
+// atmosphere-side export integrals over the overlap areas Ã_c (replicated,
+// no reduction needed), the ocean-side import integrals and storage terms
+// (one batched cross-rank reduction), and the replicated land and
+// atmosphere water stores.
+func (e *ESM) auditRecord() {
+	o := e.Ocn
+	b := o.B
+	f := e.af
+	iv := budget.Interval{
+		Seconds:       86400 / float64(e.Cfg.OcnCouplingsPerDay),
+		UnmappedCells: len(e.Rg.Unmapped),
+	}
+	for c, ar := range e.Rg.AtmOverlapArea {
+		if ar == 0 {
+			continue
+		}
+		iv.HeatSW += ar * f.sw[c]
+		iv.HeatLW += ar * f.lw[c]
+		iv.HeatSens += ar * f.sens[c]
+		iv.HeatLat += ar * f.lat[c]
+		iv.HeatAtmCpl += ar * f.qnet[c]
+		iv.HeatGross += ar * math.Abs(f.qnet[c])
+		iv.FWAtmCpl += ar * f.emp[c]
+		iv.FWGross += ar * math.Abs(f.emp[c])
+	}
+	// Ocean-side: undo the freshwater flux scaling to recover the delivered
+	// E−P, and split the same-grid ice→ocean heat out of QHeat so the
+	// interface terms compare like for like.
+	empScale := ocean.Rho0 * firstLayerDepth(o) / ocean.SRef
+	var heatIn, fwIn, iceHeat float64
+	for lj := 0; lj < b.NJ; lj++ {
+		for li := 0; li < b.NI; li++ {
+			idx := b.LIdx(li, lj)
+			gi := b.GIdx(li, lj)
+			if !o.G.Mask[gi] {
+				continue
+			}
+			area := o.G.Area[gi]
+			heatIn += area * (o.QHeat[idx] - e.Ice.FreezeHeat[idx])
+			fwIn += area * o.FWFlux[idx] * empScale
+			iceHeat += area * e.Ice.FreezeHeat[idx]
+		}
+	}
+	sums := e.Comm.AllreduceSlice([]float64{
+		heatIn, fwIn, iceHeat,
+		o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
+	}, par.OpSum)
+	iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[0], sums[1], sums[2]
+	iv.OcnHeat, iv.OcnSalt = sums[3], sums[4]
+	iv.IceFW = seaice.RhoIce * sums[5]
+	const rhoWater = 1000.0
+	for slot, c := range e.Lnd.Cells {
+		iv.LndWater += e.Lnd.Bucket[slot] * e.Atm.Mesh.AreaCell[c] *
+			grid.EarthRadius * grid.EarthRadius * rhoWater
+	}
+	iv.AtmWater = e.Atm.TotalMoisture()
+	e.ledger.Record(iv)
+}
+
+// Budget returns the conservation-audit ledger, or nil when auditing is off.
+func (e *ESM) Budget() *budget.Ledger { return e.ledger }
 
 // oceanSubsteps integrates the ocean over its coupling interval — the
 // baroclinic sub-step loop that the concurrent schedule overlaps with the

@@ -14,6 +14,8 @@ type options struct {
 	sp          pp.Space
 	obs         obs.Observer
 	schedule    Schedule
+	remap       RemapMode
+	audit       bool
 }
 
 // Option configures model assembly.
@@ -46,6 +48,23 @@ func WithObserver(o obs.Observer) Option {
 // instead of redundantly. Both schedules are bit-for-bit identical.
 func WithSchedule(s Schedule) Option {
 	return func(opt *options) { opt.schedule = s }
+}
+
+// WithRemap selects the air–sea flux remap mode: RemapNN (default, the
+// historical nearest-neighbour delivery) or RemapCons (first-order
+// conservative overlap weights, closing the coupled heat and freshwater
+// budgets to round-off).
+func WithRemap(m RemapMode) Option {
+	return func(opt *options) { opt.remap = m }
+}
+
+// WithAudit enables the conservation-audit ledger: every ocean coupling
+// interval tallies the globally reduced interface and storage terms and
+// streams them through the observer's budget.* gauges; Budget() returns the
+// ledger for reports. Off by default — the audit adds one small collective
+// per coupling interval.
+func WithAudit(on bool) Option {
+	return func(opt *options) { opt.audit = on }
 }
 
 // defaultOptions mirrors the quickstart setup: one simulated day from the

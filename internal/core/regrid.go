@@ -1,35 +1,107 @@
 package core
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/grid"
 )
 
-// Regridder holds the nearest-neighbour maps between the atmosphere's
-// icosahedral mesh and the ocean's tripolar grid, the role MCT's sparse
-// matrix interpolation plays in CPL7. Nearest-neighbour is sufficient for
-// the reproduction's resolutions and keeps the maps exactly invertible in
-// tests' spot checks.
+// RemapMode selects how the coupler remaps air–sea fluxes between the
+// atmosphere's icosahedral mesh and the ocean's tripolar grid.
+type RemapMode int
+
+const (
+	// RemapNN delivers each ocean column the flux computed from its nearest
+	// atmosphere cell — the historical mode. Fast and exactly invertible in
+	// spot checks, but the area-integrated flux the atmosphere exports is
+	// not the flux the ocean imports: the budget ledger reports the leak.
+	RemapNN RemapMode = iota
+	// RemapCons delivers first-order conservative fluxes: each wet ocean
+	// cell receives the normalized-overlap-weighted average of the
+	// per-atmosphere-cell fluxes, so the area integral is preserved to
+	// round-off — MCT's conservative sparse-matrix interpolation (§5.1.1).
+	RemapCons
+)
+
+// String implements fmt.Stringer.
+func (m RemapMode) String() string {
+	switch m {
+	case RemapNN:
+		return "nn"
+	case RemapCons:
+		return "cons"
+	default:
+		return fmt.Sprintf("RemapMode(%d)", int(m))
+	}
+}
+
+// ParseRemap maps the -remap flag values onto RemapMode.
+func ParseRemap(name string) (RemapMode, error) {
+	switch name {
+	case "nn":
+		return RemapNN, nil
+	case "cons":
+		return RemapCons, nil
+	default:
+		return 0, fmt.Errorf("core: unknown remap mode %q (want nn or cons)", name)
+	}
+}
+
+// consSub is the per-axis subsample count of the conservative overlap
+// construction: each ocean cell is probed on a consSub×consSub lattice, so
+// every weight is a multiple of 1/16 — exactly representable, and each wet
+// row's weights sum to exactly 1.0 in floating point.
+const consSub = 4
+
+// Regridder holds the maps between the atmosphere's icosahedral mesh and
+// the ocean's tripolar grid, the role MCT's sparse matrix interpolation
+// plays in CPL7: the nearest-neighbour maps in both directions, and the
+// first-order conservative overlap weights used by RemapCons and by the
+// budget ledger's atmosphere-side interface integrals.
 type Regridder struct {
 	// OcnToAtm[i] is the atmosphere cell nearest to global ocean column i.
 	OcnToAtm []int
 	// AtmToOcn[c] is the global ocean column nearest to atmosphere cell c,
-	// or -1 when the nearest column is land (the cell is served by the land
+	// or -1 when no wet column is reachable (the cell is served by the land
 	// model instead).
 	AtmToOcn []int
+
+	// Unmapped lists the non-land atmosphere cells whose spiral search found
+	// no wet ocean column within the ring limit (deep-inland cells over the
+	// analytic continents at fine ocean resolutions). The driver routes
+	// these to the land model explicitly so their fluxes are never dropped.
+	Unmapped []int
+
+	// Conservative overlap weights in CSR layout over ocean columns: wet
+	// column i overlaps atmosphere cells ConsCol[ConsPtr[i]:ConsPtr[i+1]]
+	// with normalized weights ConsW summing to exactly 1 per row. Dry
+	// columns have empty rows.
+	ConsPtr []int32
+	ConsCol []int32
+	ConsW   []float64
+
+	// AtmOverlapArea[c] = Ã_c = Σ_i ŵ_ic·A_i is the ocean area (m²) that
+	// atmosphere cell c covers through the overlap weights — the
+	// atmosphere-side interface areas of the budget ledger. Its total equals
+	// the wet ocean area exactly up to summation round-off, which is what
+	// makes the conservative mode's export and import integrals agree.
+	AtmOverlapArea []float64
 }
 
-// NewRegridder precomputes both maps.
+// NewRegridder precomputes the nearest-neighbour maps and the conservative
+// overlap weights.
 func NewRegridder(mesh *grid.IcosMesh, g *grid.Tripolar) *Regridder {
 	r := &Regridder{
-		OcnToAtm: make([]int, g.NX*g.NY),
-		AtmToOcn: make([]int, mesh.NCells()),
+		OcnToAtm:       make([]int, g.NX*g.NY),
+		AtmToOcn:       make([]int, mesh.NCells()),
+		AtmOverlapArea: make([]float64, mesh.NCells()),
 	}
 
 	// Ocean columns → nearest atmosphere cell. A coarse latitude bucketing
 	// of atmosphere cells keeps this O(N·√M) instead of O(N·M).
 	const nBuckets = 64
+	bw := math.Pi / float64(nBuckets)
 	buckets := make([][]int, nBuckets)
 	for c := 0; c < mesh.NCells(); c++ {
 		b := bucketOf(mesh.LatCell[c], nBuckets)
@@ -38,24 +110,41 @@ func NewRegridder(mesh *grid.IcosMesh, g *grid.Tripolar) *Regridder {
 	nearestAtm := func(p grid.Vec3, lat float64) int {
 		best, bestDot := -1, -2.0
 		b0 := bucketOf(lat, nBuckets)
-		for db := 0; db < nBuckets; db++ {
-			searched := false
-			for _, b := range []int{b0 - db, b0 + db} {
+		for db := 0; ; db++ {
+			lo, hi := b0-db, b0+db
+			if lo < 0 && hi >= nBuckets {
+				break // every bucket searched
+			}
+			for _, b := range []int{lo, hi} {
 				if b < 0 || b >= nBuckets || (db == 0 && b != b0) {
 					continue
 				}
-				searched = true
 				for _, c := range buckets[b] {
 					if d := p.Dot(mesh.CellCenter[c]); d > bestDot {
 						bestDot, best = d, c
 					}
 				}
 			}
-			// Once found, one extra ring guards the bucket boundary.
-			if best >= 0 && db > 1 {
-				break
+			if best < 0 {
+				continue
 			}
-			if !searched && best >= 0 {
+			// Termination bound: any cell in a still-unsearched bucket ring
+			// is separated from p in latitude by at least the distance to
+			// the searched band's nearer edge, so its dot product cannot
+			// exceed cos(sep). Expanding stops only once the current best
+			// provably beats everything outside the band — the fix for the
+			// fixed two-ring cutoff, which could return a non-nearest cell
+			// when the true nearest sat more than one bucket away.
+			sep := math.Inf(1)
+			if lo-1 >= 0 {
+				sep = lat - (-math.Pi/2 + float64(lo)*bw)
+			}
+			if hi+1 < nBuckets {
+				if s := (-math.Pi/2 + float64(hi+1)*bw) - lat; s < sep {
+					sep = s
+				}
+			}
+			if math.IsInf(sep, 1) || math.Cos(sep) < bestDot {
 				break
 			}
 		}
@@ -66,6 +155,60 @@ func NewRegridder(mesh *grid.IcosMesh, g *grid.Tripolar) *Regridder {
 		for i := 0; i < g.NX; i++ {
 			p := grid.FromLonLat(g.Lon[i], g.Lat[j])
 			r.OcnToAtm[j*g.NX+i] = nearestAtm(p, g.Lat[j])
+		}
+	}
+
+	// Conservative overlap weights: probe each wet ocean cell on a
+	// consSub×consSub lattice of sample points; each sample's containing
+	// atmosphere cell is its nearest Voronoi center (exact containment on
+	// the icosahedral Voronoi mesh), and the normalized weight of an
+	// atmosphere cell is its sample count over consSub². Sample points of
+	// land-masked atmosphere cells keep their weight (destination-area
+	// normalization), so coastal mask mismatch damps the delivered flux
+	// rather than breaking the conservation identity.
+	dlon := 2 * math.Pi / float64(g.NX)
+	dlat := 0.0
+	if g.NY > 1 {
+		dlat = g.Lat[1] - g.Lat[0]
+	}
+	r.ConsPtr = make([]int32, g.NX*g.NY+1)
+	var hitCells [consSub * consSub]int
+	var hitCounts [consSub * consSub]int
+	for j := 0; j < g.NY; j++ {
+		for i := 0; i < g.NX; i++ {
+			idx := j*g.NX + i
+			if !g.Mask[idx] {
+				r.ConsPtr[idx+1] = r.ConsPtr[idx]
+				continue
+			}
+			nHit := 0
+			for t := 0; t < consSub; t++ {
+				latS := g.Lat[j] + ((float64(t)+0.5)/consSub-0.5)*dlat
+				for s := 0; s < consSub; s++ {
+					lonS := g.Lon[i] + ((float64(s)+0.5)/consSub-0.5)*dlon
+					c := nearestAtm(grid.FromLonLat(lonS, latS), latS)
+					found := false
+					for h := 0; h < nHit; h++ {
+						if hitCells[h] == c {
+							hitCounts[h]++
+							found = true
+							break
+						}
+					}
+					if !found {
+						hitCells[nHit] = c
+						hitCounts[nHit] = 1
+						nHit++
+					}
+				}
+			}
+			for h := 0; h < nHit; h++ {
+				w := float64(hitCounts[h]) / (consSub * consSub)
+				r.ConsCol = append(r.ConsCol, int32(hitCells[h]))
+				r.ConsW = append(r.ConsW, w)
+				r.AtmOverlapArea[hitCells[h]] += w * g.Area[idx]
+			}
+			r.ConsPtr[idx+1] = r.ConsPtr[idx] + int32(nHit)
 		}
 	}
 
@@ -85,8 +228,25 @@ func NewRegridder(mesh *grid.IcosMesh, g *grid.Tripolar) *Regridder {
 			continue
 		}
 		r.AtmToOcn[c] = spiralWet(g, i, j, 6)
+		if r.AtmToOcn[c] < 0 && !grid.IsLand(lon, lat) {
+			// Non-land cell with no reachable wet column: the driver routes
+			// its surface exchange to the land model instead of dropping it.
+			r.Unmapped = append(r.Unmapped, c)
+		}
 	}
 	return r
+}
+
+// ConsRemap writes into dst (per owned wet ocean global column gi) the
+// conservative overlap average of the per-atmosphere-cell field src. The
+// caller iterates its block and asks one column at a time, keeping the loop
+// allocation-free.
+func (r *Regridder) ConsRemap(src []float64, gi int) float64 {
+	var acc float64
+	for p := r.ConsPtr[gi]; p < r.ConsPtr[gi+1]; p++ {
+		acc += r.ConsW[p] * src[r.ConsCol[p]]
+	}
+	return acc
 }
 
 func bucketOf(lat float64, n int) int {

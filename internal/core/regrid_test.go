@@ -1,0 +1,221 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func TestParseRemap(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want RemapMode
+	}{{"nn", RemapNN}, {"cons", RemapCons}} {
+		got, err := ParseRemap(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseRemap(%q) = %v, %v", tc.in, got, err)
+		}
+		if got.String() != tc.in {
+			t.Errorf("%v.String() = %q, want %q", got, got.String(), tc.in)
+		}
+	}
+	if _, err := ParseRemap("bilinear"); err == nil {
+		t.Error("unknown remap mode accepted")
+	}
+}
+
+// bruteNearest is the O(M) reference for the bucketed nearest-cell search.
+func bruteNearest(mesh *grid.IcosMesh, p grid.Vec3) (int, float64) {
+	best, bestDot := -1, -2.0
+	for c := 0; c < mesh.NCells(); c++ {
+		if d := p.Dot(mesh.CellCenter[c]); d > bestDot {
+			bestDot, best = d, c
+		}
+	}
+	return best, bestDot
+}
+
+// The bucketed search must return a true nearest cell for every ocean
+// column — the regression for the fixed two-ring early break, which could
+// stop before reaching the real nearest cell when it sat more than one
+// latitude bucket away. Ties are compared by dot product, which both
+// searches compute identically.
+func TestNearestAtmMatchesBruteForce(t *testing.T) {
+	cases := []struct {
+		nx, ny, stride int
+	}{
+		{48, 24, 1},   // C24-vs-coarse: full sweep
+		{360, 160, 7}, // ~1° ocean rows against the coarse mesh: subsampled
+	}
+	mesh, err := grid.NewIcosMesh(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range cases {
+		g, err := grid.NewTripolar(tc.nx, tc.ny, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRegridder(mesh, g)
+		checked := 0
+		for j := 0; j < g.NY; j++ {
+			for i := 0; i < g.NX; i += tc.stride {
+				p := grid.FromLonLat(g.Lon[i], g.Lat[j])
+				_, wantDot := bruteNearest(mesh, p)
+				got := r.OcnToAtm[j*g.NX+i]
+				if gotDot := p.Dot(mesh.CellCenter[got]); gotDot != wantDot {
+					t.Fatalf("%dx%d col (%d,%d): bucketed pick dot %.17g, brute force %.17g",
+						tc.nx, tc.ny, i, j, gotDot, wantDot)
+				}
+				checked++
+			}
+		}
+		if checked == 0 {
+			t.Fatal("no columns checked")
+		}
+	}
+}
+
+// Every wet row of the conservative weights must sum to exactly 1.0: the
+// weights are multiples of 1/16, so the sum is exact in floating point and
+// any deviation is a construction bug.
+func TestConsWeightsNormalized(t *testing.T) {
+	mesh, _ := grid.NewIcosMesh(3)
+	g, _ := grid.NewTripolar(48, 24, 5)
+	r := NewRegridder(mesh, g)
+	for idx := range g.Mask {
+		var sum float64
+		for p := r.ConsPtr[idx]; p < r.ConsPtr[idx+1]; p++ {
+			if r.ConsW[p] <= 0 || r.ConsW[p] > 1 {
+				t.Fatalf("column %d: weight %g out of range", idx, r.ConsW[p])
+			}
+			sum += r.ConsW[p]
+		}
+		if g.Mask[idx] {
+			if sum != 1.0 {
+				t.Fatalf("wet column %d: weights sum to %.17g, want exactly 1", idx, sum)
+			}
+		} else if r.ConsPtr[idx] != r.ConsPtr[idx+1] {
+			t.Fatalf("dry column %d has %d weights", idx, r.ConsPtr[idx+1]-r.ConsPtr[idx])
+		}
+	}
+}
+
+// The conservation identity behind the budget closure: for any source field
+// q, the ocean-side integral of the remapped field equals the
+// atmosphere-side integral over the overlap areas Ã_c, up to summation
+// round-off. Also checks Σ Ã_c equals the wet ocean area.
+func TestConsConservationIdentity(t *testing.T) {
+	mesh, _ := grid.NewIcosMesh(3)
+	g, _ := grid.NewTripolar(48, 24, 5)
+	r := NewRegridder(mesh, g)
+
+	q := make([]float64, mesh.NCells())
+	for c := range q {
+		// Deterministic, sign-changing, multi-scale field.
+		q[c] = 250*math.Sin(3*mesh.LonCell[c])*math.Cos(2*mesh.LatCell[c]) - 40
+	}
+	var ocnInt, atmInt, gross, wetArea, overlapArea float64
+	for idx := range g.Mask {
+		if !g.Mask[idx] {
+			continue
+		}
+		ocnInt += g.Area[idx] * r.ConsRemap(q, idx)
+		wetArea += g.Area[idx]
+	}
+	for c, ar := range r.AtmOverlapArea {
+		atmInt += ar * q[c]
+		gross += ar * math.Abs(q[c])
+		overlapArea += ar
+	}
+	if gross == 0 {
+		t.Fatal("degenerate test field")
+	}
+	if resid := math.Abs(ocnInt-atmInt) / gross; resid > 1e-12 {
+		t.Errorf("conservation identity residual %.3e exceeds 1e-12", resid)
+	}
+	if rel := math.Abs(overlapArea-wetArea) / wetArea; rel > 1e-12 {
+		t.Errorf("Σ Ã_c differs from wet area by %.3e relative", rel)
+	}
+}
+
+// The regridder must be deterministic: the unmapped set (and all maps) of
+// two constructions over the same grids are identical, so the
+// budget.unmapped.cells gauge is stable across runs.
+func TestUnmappedStableAndDisjointFromMapped(t *testing.T) {
+	mesh, _ := grid.NewIcosMesh(3)
+	g, _ := grid.NewTripolar(96, 48, 3)
+	a, b := NewRegridder(mesh, g), NewRegridder(mesh, g)
+	if len(a.Unmapped) != len(b.Unmapped) {
+		t.Fatalf("unmapped count unstable: %d vs %d", len(a.Unmapped), len(b.Unmapped))
+	}
+	for i := range a.Unmapped {
+		if a.Unmapped[i] != b.Unmapped[i] {
+			t.Fatalf("unmapped set unstable at %d", i)
+		}
+	}
+	for _, c := range a.Unmapped {
+		if a.AtmToOcn[c] >= 0 {
+			t.Errorf("unmapped cell %d has an ocean column", c)
+		}
+		if grid.IsLand(mesh.LonCell[c], mesh.LatCell[c]) {
+			t.Errorf("unmapped cell %d is a land cell", c)
+		}
+	}
+}
+
+// Punching an artificial all-land region into the mask around a non-land
+// atmosphere cell must surface that cell in Unmapped: the spiral search has
+// nothing wet to reach within its ring limit, and the driver then routes
+// the cell to the land model instead of dropping its fluxes.
+func TestUnmappedDetectsInlandCells(t *testing.T) {
+	mesh, _ := grid.NewIcosMesh(3)
+	g, _ := grid.NewTripolar(360, 160, 3)
+
+	// Find a mid-ocean atmosphere cell and dry out a block far wider than
+	// the 6-ring spiral around its aligned column.
+	target := -1
+	for c := 0; c < mesh.NCells(); c++ {
+		lon, lat := mesh.LonCell[c], mesh.LatCell[c]
+		if lon < 0 {
+			lon += 2 * math.Pi
+		}
+		if lat > -10*math.Pi/180 && lat < 10*math.Pi/180 &&
+			lon > math.Pi+30*math.Pi/180 && lon < math.Pi+50*math.Pi/180 &&
+			!grid.IsLand(lon, lat) {
+			target = c
+			break
+		}
+	}
+	if target < 0 {
+		t.Fatal("no mid-Pacific test cell found")
+	}
+	lon := mesh.LonCell[target]
+	if lon < 0 {
+		lon += 2 * math.Pi
+	}
+	i0 := int(lon / (2 * math.Pi) * float64(g.NX))
+	j0 := nearestLatRow(g, mesh.LatCell[target])
+	for dj := -9; dj <= 9; dj++ {
+		for di := -9; di <= 9; di++ {
+			j := j0 + dj
+			if j < 0 || j >= g.NY {
+				continue
+			}
+			i := ((i0+di)%g.NX + g.NX) % g.NX
+			g.Mask[j*g.NX+i] = false
+		}
+	}
+	r := NewRegridder(mesh, g)
+	found := false
+	for _, c := range r.Unmapped {
+		if c == target {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("cell %d over the dried-out region not reported unmapped (got %v)",
+			target, r.Unmapped)
+	}
+}

@@ -81,6 +81,26 @@ func New(mesh *grid.IcosMesh, cfg Config) (*Model, error) {
 // NLand returns the number of land cells.
 func (m *Model) NLand() int { return len(m.Cells) }
 
+// Adopt takes ownership of additional atmosphere cells — the coupler's
+// unmapped cells, whose spiral search found no wet ocean column — so their
+// surface exchange runs through the land model instead of being dropped.
+// Already-owned cells are skipped; adopted cells get the same analytic
+// initial state as native land cells.
+func (m *Model) Adopt(mesh *grid.IcosMesh, cells []int) {
+	for _, c := range cells {
+		if _, ok := m.index[c]; ok {
+			continue
+		}
+		m.index[c] = len(m.Cells)
+		m.Cells = append(m.Cells, c)
+		lat := mesh.LatCell[c]
+		m.TSoil = append(m.TSoil, 273.15+25*math.Cos(lat)*math.Cos(lat))
+		m.Bucket = append(m.Bucket, bucketCap/2)
+		m.Runoff = append(m.Runoff, 0)
+		m.Evap = append(m.Evap, 0)
+	}
+}
+
 // Forcing is the per-cell atmospheric input for one land step.
 type Forcing struct {
 	GSW    float64 // downward shortwave, W/m²

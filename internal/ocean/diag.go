@@ -25,6 +25,44 @@ func (o *Ocean) TracerContent(tr []float64) float64 {
 	return o.B.Cart.Comm.Allreduce(local, par.OpSum)
 }
 
+// HeatContentLocal returns this rank's contribution to the ocean heat
+// content, ρ₀·c_p·Σ T·vol over owned wet cells (J). No reduction: the budget
+// ledger batches the cross-rank sum with its other terms in one collective.
+func (o *Ocean) HeatContentLocal() float64 {
+	n2 := o.LNI * o.LNJ
+	var local float64
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		area := o.G.DX[jg] * o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			for k := 0; k < o.kmt[c]; k++ {
+				local += o.T[k*n2+c] * area * o.dz[k]
+			}
+		}
+	}
+	return Rho0 * Cp * local
+}
+
+// SaltContentLocal returns this rank's contribution to the total salt mass,
+// ρ₀·Σ S·vol/1000 over owned wet cells (kg; S in psu = g/kg). Unreduced,
+// like HeatContentLocal.
+func (o *Ocean) SaltContentLocal() float64 {
+	n2 := o.LNI * o.LNJ
+	var local float64
+	for lj := 0; lj < o.B.NJ; lj++ {
+		jg := o.B.J0 + lj
+		area := o.G.DX[jg] * o.G.DY
+		for li := 0; li < o.B.NI; li++ {
+			c := o.idx2(li, lj)
+			for k := 0; k < o.kmt[c]; k++ {
+				local += o.S[k*n2+c] * area * o.dz[k]
+			}
+		}
+	}
+	return Rho0 * local / 1000
+}
+
 // MeanSSH returns the area-weighted global mean sea surface height over wet
 // cells. Volume conservation of the barotropic solver keeps it near its
 // initial value.

@@ -139,30 +139,51 @@ func (c *CPE) Concurrency() int { return c.gang }
 // capacity, not the latency.
 func (c *CPE) Scratch(w int) []float64 { return c.scratch[w] }
 
-// ParallelFor implements Space with block-cyclic scheduling: worker w runs
-// chunks w, w+gang, w+2·gang, … of size chunk.
-func (c *CPE) ParallelFor(n int, f func(i int)) {
-	// The simulated gang multiplexes onto the real machine's cores.
+// procsFor caps the spawned goroutines at the number of occupied chunks
+// ⌈n/chunk⌉: beyond that, block-cyclic workers have no chunk to run, so
+// spawning them only burns scheduler time on small n.
+func (c *CPE) procsFor(n int) int {
 	procs := runtime.GOMAXPROCS(0)
 	if procs > c.gang {
 		procs = c.gang
+	}
+	if chunks := (n + c.chunk - 1) / c.chunk; procs > chunks {
+		procs = chunks
+	}
+	return procs
+}
+
+// ParallelFor implements Space with block-cyclic scheduling: worker w runs
+// chunks w, w+gang, w+2·gang, … of size chunk.
+func (c *CPE) ParallelFor(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	// The simulated gang multiplexes onto the real machine's cores.
+	procs := c.procsFor(n)
+	worker := func(p int) {
+		for w := p; w < c.gang; w += procs {
+			for start := w * c.chunk; start < n; start += c.gang * c.chunk {
+				end := start + c.chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					f(i)
+				}
+			}
+		}
+	}
+	if procs == 1 {
+		worker(0)
+		return
 	}
 	var wg sync.WaitGroup
 	for p := 0; p < procs; p++ {
 		wg.Add(1)
 		go func(p int) {
 			defer wg.Done()
-			for w := p; w < c.gang; w += procs {
-				for start := w * c.chunk; start < n; start += c.gang * c.chunk {
-					end := start + c.chunk
-					if end > n {
-						end = n
-					}
-					for i := start; i < end; i++ {
-						f(i)
-					}
-				}
-			}
+			worker(p)
 		}(p)
 	}
 	wg.Wait()
@@ -171,39 +192,46 @@ func (c *CPE) ParallelFor(n int, f func(i int)) {
 // ParallelReduce implements Space. Per-worker partials are joined in worker
 // order for determinism.
 func (c *CPE) ParallelReduce(n int, identity float64, f func(i int) float64, join func(a, b float64) float64) float64 {
-	if n == 0 {
+	if n <= 0 {
 		return identity
 	}
-	procs := runtime.GOMAXPROCS(0)
-	if procs > c.gang {
-		procs = c.gang
-	}
+	procs := c.procsFor(n)
 	partials := make([]float64, c.gang)
 	touched := make([]bool, c.gang)
-	var wg sync.WaitGroup
-	for p := 0; p < procs; p++ {
-		wg.Add(1)
-		go func(p int) {
-			defer wg.Done()
-			for w := p; w < c.gang; w += procs {
-				acc := identity
-				did := false
-				for start := w * c.chunk; start < n; start += c.gang * c.chunk {
-					end := start + c.chunk
-					if end > n {
-						end = n
-					}
-					for i := start; i < end; i++ {
-						acc = join(acc, f(i))
-						did = true
-					}
+	// Worker p sweeps gang slots p, p+procs, … — the per-slot partials are
+	// identical for any procs because joining happens per slot, in slot
+	// order, below.
+	worker := func(p int) {
+		for w := p; w < c.gang; w += procs {
+			acc := identity
+			did := false
+			for start := w * c.chunk; start < n; start += c.gang * c.chunk {
+				end := start + c.chunk
+				if end > n {
+					end = n
 				}
-				partials[w] = acc
-				touched[w] = did
+				for i := start; i < end; i++ {
+					acc = join(acc, f(i))
+					did = true
+				}
 			}
-		}(p)
+			partials[w] = acc
+			touched[w] = did
+		}
 	}
-	wg.Wait()
+	if procs == 1 {
+		worker(0)
+	} else {
+		var wg sync.WaitGroup
+		for p := 0; p < procs; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				worker(p)
+			}(p)
+		}
+		wg.Wait()
+	}
 	acc := identity
 	first := true
 	for w, pv := range partials {

@@ -48,6 +48,18 @@ type GroupScaled struct {
 	N      int
 }
 
+// The scale exponent is clamped to [minScaleExp, maxScaleExp]: above the
+// cap the scale itself overflows (Ldexp(1, 1024) = +Inf) and below the
+// floor its *inverse* does (1/2⁻¹⁰²⁴ = +Inf), either way turning the whole
+// group into NaN/Inf on decode. maxQuant is the largest float32 below 2,
+// the clamp bound for scaled values at the exponent cap.
+const (
+	maxScaleExp = 1023
+	minScaleExp = -1023
+)
+
+var maxQuant = math.Nextafter32(2, 0)
+
 // EncodeGroupScaled packs x into a GroupScaled with the given group size.
 func EncodeGroupScaled(x []float64, group int) (*GroupScaled, error) {
 	if group <= 0 {
@@ -77,12 +89,39 @@ func EncodeGroupScaled(x []float64, group int) (*GroupScaled, error) {
 			// Power-of-two scale so the group max lands near 1: exact to
 			// re-multiply, so scaling itself introduces no rounding error.
 			_, exp := math.Frexp(maxAbs)
+			// A scaled magnitude just below 1 can round UP to 1.0 in
+			// float32; escalate the scale so stored values stay < 1 and a
+			// re-encode of the decoded field reuses the same scale
+			// (idempotence). Capped at the largest finite power of two —
+			// beyond it Ldexp overflows to +Inf and the whole group would
+			// decode as NaN.
+			if exp < maxScaleExp && float32(math.Ldexp(maxAbs, -exp)) >= 1 {
+				exp++
+			}
+			if exp > maxScaleExp {
+				exp = maxScaleExp
+			} else if exp < minScaleExp {
+				// Subnormal group maxima: keep the inverse scale finite; the
+				// scaled values land well below 1 and round-trip exactly on
+				// the subnormal grid.
+				exp = minScaleExp
+			}
 			scale = math.Ldexp(1, exp)
 		}
 		gs.Scales[g] = scale
 		inv := 1 / scale
 		for i := lo; i < hi; i++ {
-			gs.Vals[i] = float32(x[i] * inv)
+			v := float32(x[i] * inv)
+			// At the exponent cap the scaled max can still round to ≥ 1
+			// (e.g. MaxFloat64·2⁻¹⁰²³ → 2.0f), and decoding 2.0·2¹⁰²³
+			// overflows; clamp to the largest float32 below 2. The clamp
+			// error is within the representation's own rounding bound.
+			if v > maxQuant {
+				v = maxQuant
+			} else if v < -maxQuant {
+				v = -maxQuant
+			}
+			gs.Vals[i] = v
 		}
 	}
 	return gs, nil

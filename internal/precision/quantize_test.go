@@ -1,0 +1,95 @@
+package precision
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// QuantizeInPlace must be idempotent: the decoded field re-quantizes to
+// itself, so repeated FP32 compute-and-store cycles under the Mixed policy
+// do not drift. Property-tested over random fields, including mixed
+// magnitudes within one group.
+func TestQuantizeIdempotentProperty(t *testing.T) {
+	prop := func(seed int64, group uint8) bool {
+		g := int(group)%16 + 1
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float64, 64)
+		for i := range x {
+			// Wide finite dynamic range: magnitudes from subnormal float64
+			// (mantissa × 10⁻³²⁰) up to ~10³⁰⁰.
+			x[i] = (rng.Float64()*2 - 1) * math.Pow(10, float64(rng.Intn(621)-320))
+		}
+		if err := QuantizeInPlace(x, g); err != nil {
+			return false
+		}
+		once := append([]float64(nil), x...)
+		if err := QuantizeInPlace(x, g); err != nil {
+			return false
+		}
+		for i := range x {
+			if x[i] != once[i] && !(math.IsNaN(x[i]) && math.IsNaN(once[i])) {
+				t.Logf("seed %d group %d: x[%d] %.17g → %.17g", seed, g, i, once[i], x[i])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Round-trip safety at the exponent extremes: group maxima at or near the
+// float64 overflow and subnormal boundaries must decode finite, non-NaN,
+// within the float32 relative rounding bound, and idempotently.
+func TestQuantizeExtremeGroupMaxima(t *testing.T) {
+	const f32RelBound = 1.3e-7 // ~2·2⁻²⁴, covers rounding plus the cap clamp
+	cases := []struct {
+		name string
+		vals []float64
+	}{
+		{"max-float64", []float64{math.MaxFloat64, 1.0, -3e300}},
+		{"pow2-1023", []float64{math.Ldexp(1, 1023), -math.Ldexp(1, 1023), 5.5}},
+		{"near-overflow", []float64{1.7e308, -1.6e308, 2.2}},
+		{"min-subnormal", []float64{5e-324, 0, -5e-324}},
+		{"subnormal", []float64{1e-310, -3e-311, 2e-312}},
+		{"min-normal", []float64{2.2250738585072014e-308, 1e-308}},
+		{"zeros", []float64{0, 0, 0}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := append([]float64(nil), tc.vals...)
+			if err := QuantizeInPlace(x, len(x)); err != nil {
+				t.Fatal(err)
+			}
+			var maxAbs float64
+			for _, v := range tc.vals {
+				if a := math.Abs(v); a > maxAbs {
+					maxAbs = a
+				}
+			}
+			for i := range x {
+				if math.IsNaN(x[i]) || math.IsInf(x[i], 0) {
+					t.Fatalf("x[%d] = %g: non-finite round-trip of %g", i, x[i], tc.vals[i])
+				}
+				// Error bound relative to the group max (the representation's
+				// granularity is set by the shared scale).
+				if err := math.Abs(x[i] - tc.vals[i]); err > f32RelBound*maxAbs {
+					t.Errorf("x[%d]: |%g − %g| = %g exceeds %g",
+						i, x[i], tc.vals[i], err, f32RelBound*maxAbs)
+				}
+			}
+			once := append([]float64(nil), x...)
+			if err := QuantizeInPlace(x, len(x)); err != nil {
+				t.Fatal(err)
+			}
+			for i := range x {
+				if x[i] != once[i] {
+					t.Errorf("not idempotent at %d: %.17g → %.17g", i, once[i], x[i])
+				}
+			}
+		})
+	}
+}

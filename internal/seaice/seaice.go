@@ -17,6 +17,10 @@ import (
 	"repro/internal/par"
 )
 
+// RhoIce is the ice density (kg/m³), exported so the budget ledger can
+// convert ice volume to freshwater-equivalent mass.
+const RhoIce = iceDensity
+
 // Physical constants.
 const (
 	iceDensity  = 917.0
@@ -244,6 +248,23 @@ func (m *Model) IceArea() float64 {
 		}
 	}
 	return m.B.Cart.Comm.Allreduce(local, par.OpSum)
+}
+
+// LocalVolume returns this rank's contribution to the ice volume (m³),
+// unreduced: the budget ledger batches the cross-rank sum with its other
+// terms in one collective.
+func (m *Model) LocalVolume() float64 {
+	var local float64
+	for lj := 0; lj < m.B.NJ; lj++ {
+		jg := m.B.J0 + lj
+		for li := 0; li < m.B.NI; li++ {
+			idx := m.B.LIdx(li, lj)
+			if m.wet[idx] {
+				local += m.Conc[idx] * m.Thick[idx] * m.G.DX[jg] * m.G.DY
+			}
+		}
+	}
+	return local
 }
 
 // IceVolume returns the global ice volume (m³).

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
 # tests, a dedicated race stress lap over the concurrent component
-# schedule, a short fuzz of the restart-file decoder, and the two
-# benchmarks writing BENCH_1.json and BENCH_2.json at the repo root.
+# schedule, a short fuzz of the restart-file decoder, the coupled
+# conservation-budget gate (conservative remap must close to 1e-10
+# relative), and the two benchmarks writing BENCH_1.json and BENCH_2.json
+# at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,6 +20,8 @@ echo "== conc schedule race stress (2 ranks, p2p rearrange)"
 go test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
+echo "== conservation budget gate (cons remap, 2 ranks, conc schedule, 1e-10)"
+go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -audit-gate 1e-10
 echo "== bench1"
 go run ./cmd/bench1 -out BENCH_1.json
 echo "== bench2 smoke (schema self-validation)"
