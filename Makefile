@@ -1,12 +1,14 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
-# race-enabled tests (including the concurrent-schedule stress lap), the
-# restart-decoder fuzz smoke, the conservation-budget gate, and the two
-# benchmarks (BENCH_1.json, BENCH_2.json).
+# race-enabled tests (including the concurrent-schedule and decomposed-
+# atmosphere stress laps), the restart-decoder fuzz smoke, the
+# conservation-budget gate on four decomposed ranks, the two-rank
+# resilient rollback lap, and the three benchmarks (BENCH_1.json,
+# BENCH_2.json, BENCH_3.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc fuzz budget check bench bench2 clean
+.PHONY: all build vet test race race-conc race-decomp fuzz budget resilient check bench bench2 bench3 clean
 
 all: check
 
@@ -25,11 +27,19 @@ race:
 race-conc:
 	$(GO) test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
 
+race-decomp:
+	$(GO) test -race ./internal/core -run 'TestDecompRankCountInvariance|TestDecompRestartRoundTrip' -count 1
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 
 budget:
-	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -audit-gate 1e-10
+	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
+
+resilient:
+	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
+	  -checkpoint-every 5 -restart-dir /tmp/ap3esm-resilient -faults 'nan@esm.step:21'
+	rm -rf /tmp/ap3esm-resilient
 
 bench:
 	$(GO) run ./cmd/bench1 -out BENCH_1.json
@@ -37,7 +47,10 @@ bench:
 bench2:
 	$(GO) run ./cmd/bench2 -out BENCH_2.json
 
-check: vet build race race-conc fuzz budget bench bench2
+bench3:
+	$(GO) run ./cmd/bench3 -out BENCH_3.json
+
+check: vet build race race-conc race-decomp fuzz budget resilient bench bench2 bench3
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json

@@ -35,6 +35,7 @@ func main() {
 	ckDir := flag.String("restart-dir", "restart", "restart-set directory for -checkpoint-every")
 	maxRetries := flag.Int("max-retries", 3, "consecutive failed recoveries before giving up")
 	schedName := flag.String("schedule", "seq", "component schedule: seq (sequential groups) or conc (overlapped ocean/atmosphere)")
+	atmDecomp := flag.Bool("atm-decomp", true, "domain-decompose the atmosphere and land across ranks (false = historical replicated dataflow)")
 	remapName := flag.String("remap", "nn", "air-sea flux remap: nn (nearest-neighbour) or cons (first-order conservative)")
 	audit := flag.Bool("audit", false, "record the per-coupling-interval conservation budget and print the ledger report")
 	auditGate := flag.Float64("audit-gate", 0, "fail if the max relative heat/freshwater residual exceeds this (0 = report only; implies -audit)")
@@ -105,7 +106,8 @@ func main() {
 				core.WithObserver(observer),
 				core.WithSchedule(sched),
 				core.WithRemap(remap),
-				core.WithAudit(*audit))
+				core.WithAudit(*audit),
+				core.WithAtmDecomp(*atmDecomp))
 		}
 		e, err := mk()
 		if err != nil {
@@ -135,14 +137,16 @@ func main() {
 			for e.Step() {
 				daysRun = e.SimulatedSeconds() / 86400
 				if e.CouplingSteps()%45 == 0 {
-					// The ocean/ice diagnostics reduce across ranks, so every
-					// rank computes them; rank 0 prints.
-					minPs, _ := e.Atm.MinPs()
+					// Every diagnostic reduces across ranks — the atmosphere
+					// scans are owned-range only under the decomposition — so
+					// every rank computes them; rank 0 prints.
+					maxWind := c.Allreduce(e.Atm.MaxWindLocal(), par.OpMax)
+					minPs := c.Allreduce(e.Atm.MinPsLocal(), par.OpMin)
 					ke := e.Ocn.SurfaceKineticEnergy()
 					iceArea := e.Ice.IceArea()
 					if c.Rank() == 0 {
 						fmt.Printf("  t=%5.2f d  atm max wind %5.1f m/s  min ps %7.0f Pa  ocean KE %.2e  ice area %.3g m2\n",
-							daysRun, e.Atm.MaxWind(), minPs, ke, iceArea)
+							daysRun, maxWind, minPs, ke, iceArea)
 					}
 				}
 			}
@@ -154,9 +158,9 @@ func main() {
 				daysRun, elapsed, sypd)
 		}
 		if l := e.Budget(); l != nil {
-			// The ledger terms are identical on every rank (replicated
-			// atmosphere sums, allreduced ocean sums): rank 0 reports, every
-			// rank agrees on the gate verdict.
+			// The ledger terms are identical on every rank (the audit
+			// allreduces all partials, owned-range or replicated): rank 0
+			// reports, every rank agrees on the gate verdict.
 			s := l.Summary()
 			if c.Rank() == 0 {
 				fmt.Printf("conservation budget (%s remap):\n%s", remap, l.Report())

@@ -96,6 +96,70 @@ type Model struct {
 	recon   *reconstructor
 	flux    *accFlux
 	steps   int
+	dec     *grid.IcosDecomp
+}
+
+// SetDecomp switches the model to decomposed stepping: every sweep covers
+// only this rank's patch (owned cells plus the ring-1 halo required by the
+// stencils), with halo exchanges at the substep boundaries. A nil decomp —
+// the default, and the only valid state at 1 rank — keeps the original
+// global-array path verbatim, which the golden tests pin bit-for-bit.
+func (m *Model) SetDecomp(d *grid.IcosDecomp) { m.dec = d }
+
+// Decomp returns the active decomposition (nil when replicated).
+func (m *Model) Decomp() *grid.IcosDecomp { return m.dec }
+
+// The loop helpers below pick the iteration set for each sweep class. In the
+// replicated case they are exactly the original full-range ParallelFor, so
+// the 1-rank answer is bit-identical by construction; decomposed, they visit
+// the listed subset through the same execution space. Per-cell arithmetic is
+// identical either way, which is what makes the decomposed answer
+// rank-count-invariant bit-for-bit.
+
+// forExtCells sweeps the extended patch: owned cells plus the ring-1 halo.
+// Cell diagnostics (tv, phi, ke, div, θ) and physics columns run here so
+// that edge and ownership stencils never read a stale cell.
+func (m *Model) forExtCells(fn func(c int)) {
+	if m.dec == nil {
+		m.Sp.ParallelFor(m.Mesh.NCells(), fn)
+		return
+	}
+	ext := m.dec.ExtCells
+	m.Sp.ParallelFor(len(ext), func(i int) { fn(ext[i]) })
+}
+
+// forOwnedCells sweeps only the owned contiguous range — prognostic
+// writebacks (Ps, T, Qv) whose halo copies arrive by exchange.
+func (m *Model) forOwnedCells(fn func(c int)) {
+	if m.dec == nil {
+		m.Sp.ParallelFor(m.Mesh.NCells(), fn)
+		return
+	}
+	c0 := m.dec.C0
+	m.Sp.ParallelFor(m.dec.NOwned(), func(i int) { fn(c0 + i) })
+}
+
+// forCompEdges sweeps the computed edges: every edge with at least one owned
+// endpoint. Adjacent ranks compute the shared boundary edges redundantly
+// from identical inputs, so no edge-tendency exchange is needed.
+func (m *Model) forCompEdges(fn func(e int)) {
+	if m.dec == nil {
+		m.Sp.ParallelFor(m.Mesh.NEdges(), fn)
+		return
+	}
+	ce := m.dec.CompEdges
+	m.Sp.ParallelFor(len(ce), func(i int) { fn(ce[i]) })
+}
+
+// forCompVerts sweeps the vertices of the computed edges; their three-cell
+// and three-edge stencils stay inside the extended sets.
+func (m *Model) forCompVerts(fn func(v int)) {
+	if m.dec == nil {
+		m.Sp.ParallelFor(m.Mesh.NVertices(), fn)
+		return
+	}
+	cv := m.dec.CompVerts
+	m.Sp.ParallelFor(len(cv), func(i int) { fn(cv[i]) })
 }
 
 // New builds the model at the given mesh refinement level with nlev levels.

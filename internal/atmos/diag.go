@@ -69,15 +69,77 @@ func (m *Model) MaxWind() float64 {
 // Wind10m returns the lowest-level zonal and meridional wind at every cell,
 // the paper's 10 m wind diagnostic (Fig 6a/6b).
 func (m *Model) Wind10m() (u, v []float64) {
-	nc, ne := m.Mesh.NCells(), m.Mesh.NEdges()
-	kb := m.NLev - 1
-	uLvl := m.U[kb*ne : (kb+1)*ne]
+	nc := m.Mesh.NCells()
 	u = make([]float64, nc)
 	v = make([]float64, nc)
-	for c := 0; c < nc; c++ {
-		u[c], v[c] = m.recon.CellUV(uLvl, c)
-	}
+	m.Wind10mInto(u, v)
 	return u, v
+}
+
+// Wind10mInto fills caller-owned buffers with the lowest-level wind — the
+// allocation-free form the coupler's hot path uses. Decomposed, it fills the
+// extended patch (owned + halo), the cells whose edges are locally valid;
+// everything the surface-flux and coupling loops read lies inside it.
+func (m *Model) Wind10mInto(u, v []float64) {
+	ne := m.Mesh.NEdges()
+	kb := m.NLev - 1
+	uLvl := m.U[kb*ne : (kb+1)*ne]
+	fill := func(c int) { u[c], v[c] = m.recon.CellUV(uLvl, c) }
+	if m.dec == nil {
+		for c := 0; c < m.Mesh.NCells(); c++ {
+			fill(c)
+		}
+		return
+	}
+	for _, c := range m.dec.ExtCells {
+		fill(c)
+	}
+}
+
+// MaxWindLocal returns the largest reconstructed wind speed over this rank's
+// owned cells (all cells when replicated). Owned regions partition the mesh,
+// so a max-allreduce of the local values reproduces MaxWind exactly.
+func (m *Model) MaxWindLocal() float64 {
+	ne := m.Mesh.NEdges()
+	var worst float64
+	scan := func(c int) {
+		for k := 0; k < m.NLev; k++ {
+			uLvl := m.U[k*ne : (k+1)*ne]
+			u, v := m.recon.CellUV(uLvl, c)
+			if s := math.Hypot(u, v); s > worst {
+				worst = s
+			}
+		}
+	}
+	if m.dec == nil {
+		for c := 0; c < m.Mesh.NCells(); c++ {
+			scan(c)
+		}
+		return worst
+	}
+	for c := m.dec.C0; c < m.dec.C1; c++ {
+		scan(c)
+	}
+	return worst
+}
+
+// TotalMoistureLocal returns the water-vapour mass over this rank's owned
+// cells; summed across ranks it equals TotalMoisture on a replicated run.
+func (m *Model) TotalMoistureLocal() float64 {
+	nc := m.Mesh.NCells()
+	re2 := grid.EarthRadius * grid.EarthRadius
+	c0, c1 := 0, nc
+	if m.dec != nil {
+		c0, c1 = m.dec.C0, m.dec.C1
+	}
+	var sum float64
+	for c := c0; c < c1; c++ {
+		colMass := m.Ps[c] / Gravity * m.Mesh.AreaCell[c] * re2
+		for k := 0; k < m.NLev; k++ {
+			sum += m.Qv[k*nc+c] * colMass * m.DSig[k]
+		}
+	}
+	return sum
 }
 
 // SurfaceVorticity returns the lowest-level relative vorticity interpolated
@@ -124,6 +186,23 @@ func (m *Model) MinPs() (float64, int) {
 		}
 	}
 	return best, at
+}
+
+// MinPsLocal returns the lowest surface pressure over this rank's owned
+// cells (all cells when replicated). Owned ranges partition the mesh, so a
+// min-allreduce of the local values reproduces MinPs.
+func (m *Model) MinPsLocal() float64 {
+	best := math.Inf(1)
+	c0, c1 := 0, m.Mesh.NCells()
+	if m.dec != nil {
+		c0, c1 = m.dec.C0, m.dec.C1
+	}
+	for c := c0; c < c1; c++ {
+		if m.Ps[c] < best {
+			best = m.Ps[c]
+		}
+	}
+	return best
 }
 
 // GlobalPrecipRate returns the area-weighted mean precipitation rate

@@ -40,6 +40,17 @@ func (m *Model) Step() {
 					panic(err)
 				}
 			}
+			if m.dec != nil {
+				// Group-scaled quantization is sensitive to the whole group's
+				// contents, so stale regions can requantize owned values
+				// differently per rank; re-exchanging the prognostics keeps
+				// every halo bit-identical to its owner (self-consistent,
+				// though Mixed runs are not rank-count-invariant).
+				m.dec.ExchangeEdges(m.U, m.NLev)
+				m.dec.ExchangeCells(m.T, m.NLev)
+				m.dec.ExchangeCells(m.Qv, m.NLev)
+				m.dec.ExchangeCells(m.Ps, 1)
+			}
 		}
 	}
 }
@@ -123,7 +134,7 @@ func (m *Model) dynamicsSubstep(dt float64) {
 	// Virtual temperature and geopotential at full levels.
 	tv := make([]float64, nlev*nc)
 	phi := make([]float64, nlev*nc)
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forExtCells(func(c int) {
 		below := 0.0 // geopotential at the interface below the current layer
 		for k := nlev - 1; k >= 0; k-- {
 			i := k*nc + c
@@ -140,7 +151,7 @@ func (m *Model) dynamicsSubstep(dt float64) {
 	ke := make([]float64, nlev*nc)
 	div := make([]float64, nlev*nc)
 	vort := make([]float64, nlev*mesh.NVertices())
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forExtCells(func(c int) {
 		for k := 0; k < nlev; k++ {
 			uLvl := m.U[k*ne : (k+1)*ne]
 			vec := m.recon.CellVector(uLvl, c)
@@ -153,7 +164,7 @@ func (m *Model) dynamicsSubstep(dt float64) {
 		}
 	})
 	nv := mesh.NVertices()
-	m.Sp.ParallelFor(nv, func(v int) {
+	m.forCompVerts(func(v int) {
 		for k := 0; k < nlev; k++ {
 			uLvl := m.U[k*ne : (k+1)*ne]
 			var circ float64
@@ -167,7 +178,7 @@ func (m *Model) dynamicsSubstep(dt float64) {
 
 	// --- Momentum update ---
 	newU := make([]float64, len(m.U))
-	m.Sp.ParallelFor(ne, func(e int) {
+	m.forCompEdges(func(e int) {
 		c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
 		v1, v2 := mesh.VerticesOnEdge[e][0], mesh.VerticesOnEdge[e][1]
 		dcm := mesh.Dc[e] * re
@@ -199,7 +210,7 @@ func (m *Model) dynamicsSubstep(dt float64) {
 	// upwind ps, evaluated with the *pre-update* velocity for consistency
 	// with the accumulated tracer fluxes.
 	dpsDt := make([]float64, nc)
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forOwnedCells(func(c int) {
 		var sum float64
 		for k := 0; k < nlev; k++ {
 			uLvl := m.U[k*ne : (k+1)*ne]
@@ -218,8 +229,10 @@ func (m *Model) dynamicsSubstep(dt float64) {
 		}
 		dpsDt[c] = -sum / (mesh.AreaCell[c] * re * re)
 	})
-	// Edge flux accumulation runs over edges (each edge once).
-	m.Sp.ParallelFor(ne, func(e int) {
+	// Edge flux accumulation runs over edges (each edge once); decomposed,
+	// every edge of an owned cell is a computed edge, so the accumulators the
+	// tracer step reads are always locally valid.
+	m.forCompEdges(func(e int) {
 		c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
 		for k := 0; k < nlev; k++ {
 			u := m.U[k*ne+e]
@@ -233,11 +246,18 @@ func (m *Model) dynamicsSubstep(dt float64) {
 			m.flux.edge[k*ne+e] += dt * u * psUp * m.DSig[k] / Gravity * m.Mesh.Dv[e] * re
 		}
 	})
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forOwnedCells(func(c int) {
 		m.Ps[c] += dt * dpsDt[c]
 		m.flux.dps[c] += dt * dpsDt[c]
 	})
 	m.U = newU
+	if m.dec != nil {
+		// Halo barrier: refresh Ps on the ring-1 halo and U on the extended
+		// edges the neighbours own, so the next substep's stencils read the
+		// owners' freshly computed values.
+		m.dec.ExchangeCells(m.Ps, 1)
+		m.dec.ExchangeEdges(m.U, nlev)
+	}
 }
 
 // sigInt returns the sigma value of interface k (k = 0 is the model top).
@@ -254,7 +274,16 @@ func (m *Model) tracerStep() {
 	nc := m.Mesh.NCells()
 	nlev := m.NLev
 
+	// Decomposed, the dps accumulator was only summed on owned cells; the
+	// halo needs the owners' values before psOld (and through it θ) can be
+	// evaluated on the extended patch.
+	if m.dec != nil {
+		m.dec.ExchangeCells(m.flux.dps, 1)
+	}
+
 	// Pre-update masses: ps before this tracer window = Ps - accumulated dps.
+	// The full-range loop is kept in both modes: outside the extended patch
+	// the inputs are stale-but-finite and the result is never read.
 	psOld := make([]float64, nc)
 	for c := 0; c < nc; c++ {
 		psOld[c] = m.Ps[c] - m.flux.dps[c]
@@ -262,7 +291,7 @@ func (m *Model) tracerStep() {
 
 	// θ and qv as mass-weighted quantities.
 	theta := make([]float64, nlev*nc)
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forExtCells(func(c int) {
 		for k := 0; k < nlev; k++ {
 			i := k*nc + c
 			theta[i] = m.T[i] * math.Pow(P0/(m.Sig[k]*psOld[c]), Kappa)
@@ -272,13 +301,17 @@ func (m *Model) tracerStep() {
 	newTheta := m.transport(theta, psOld)
 	newQv := m.transport(m.Qv, psOld)
 
-	m.Sp.ParallelFor(nc, func(c int) {
+	m.forOwnedCells(func(c int) {
 		for k := 0; k < nlev; k++ {
 			i := k*nc + c
 			m.T[i] = newTheta[i] * math.Pow(m.Sig[k]*m.Ps[c]/P0, Kappa)
 			m.Qv[i] = math.Max(newQv[i], 0)
 		}
 	})
+	if m.dec != nil {
+		m.dec.ExchangeCells(m.T, nlev)
+		m.dec.ExchangeCells(m.Qv, nlev)
+	}
 
 	// Reset accumulators.
 	for i := range m.flux.edge {
@@ -299,8 +332,10 @@ func (m *Model) transport(x []float64, psOld []float64) []float64 {
 
 	out := make([]float64, len(x))
 	// Per-cell: new mass content = old content − horizontal flux divergence
-	// − vertical flux divergence, then divide by new mass.
-	m.Sp.ParallelFor(nc, func(c int) {
+	// − vertical flux divergence, then divide by new mass. Owned cells only:
+	// the upwind stencil reads x on the ring-1 halo, and the caller
+	// exchanges the written-back tracers afterwards.
+	m.forOwnedCells(func(c int) {
 		area := mesh.AreaCell[c] * re * re
 		// Horizontal: per-level content change (kg·X).
 		dContent := make([]float64, nlev)
@@ -363,7 +398,11 @@ func (m *Model) physicsStep(dt float64) {
 	duCell := make([]float64, nc)
 	dvCell := make([]float64, nc)
 
-	m.Sp.ParallelFor(nc, func(c int) {
+	// Physics columns run on the extended patch: the halo columns are
+	// recomputed redundantly from inputs the exchanges keep bit-identical to
+	// their owners', so the column outputs (T, Qv, and the seven export
+	// fields) are halo-valid without any post-physics cell exchange.
+	m.forExtCells(func(c int) {
 		in := ColumnIn{
 			U: make([]float64, nlev), V: make([]float64, nlev),
 			T: make([]float64, nlev), Q: make([]float64, nlev),
@@ -413,7 +452,7 @@ func (m *Model) physicsStep(dt float64) {
 
 	// Project the boundary-layer momentum tendency onto lowest-level edges.
 	kB := nlev - 1
-	m.Sp.ParallelFor(ne, func(e int) {
+	m.forCompEdges(func(e int) {
 		c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
 		n := m.recon.normal3[e]
 		add := func(c int) float64 {
@@ -422,6 +461,11 @@ func (m *Model) physicsStep(dt float64) {
 		}
 		m.U[kB*ne+e] += dt * 0.5 * (add(c1) + add(c2))
 	})
+	if m.dec != nil {
+		// Only the lowest level changed; exchange just that contiguous window
+		// to refresh the received extended edges the projection left stale.
+		m.dec.ExchangeEdges(m.U[kB*ne:(kB+1)*ne], 1)
+	}
 }
 
 // cosZenith returns the diurnally-averaged cosine of the solar zenith angle

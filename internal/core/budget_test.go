@@ -60,8 +60,11 @@ func TestConsBudgetCloses(t *testing.T) {
 					if s.MaxFWResid > 1e-10 {
 						t.Errorf("rank %d: max freshwater residual %.3e exceeds 1e-10", rank, s.MaxFWResid)
 					}
-					// The ledger is built from replicated atm-side terms and
-					// allreduced ocn-side terms: identical on every rank.
+					// The ledger is identical on every rank by construction:
+					// replicated runs pair replicated atm-side terms with
+					// allreduced ocn-side terms, and decomposed runs (the
+					// multi-rank default) batch both sides' owned-range
+					// partials through one allreduce.
 					if s != sums[0] {
 						t.Errorf("rank %d: summary differs from rank 0", rank)
 					}

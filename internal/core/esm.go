@@ -66,6 +66,17 @@ type ESM struct {
 	remap  RemapMode
 	ledger *budget.Ledger
 	af     *atmFluxes
+
+	// Atmosphere + land domain decomposition (nil / empty when replicated):
+	// the icosahedral partition with its halo-exchange plans, the distributed
+	// coupling rearrange state, the land slots this rank steps (extended
+	// patch) and audits (owned range), and the persistent 10 m wind buffers
+	// the surface loops fill in place.
+	dec       *grid.IcosDecomp
+	dst       *distState
+	stepSlots []int
+	ownSlots  []int
+	u10, v10  []float64
 }
 
 // atmFluxes holds the per-atmosphere-cell air–sea flux parts, positive into
@@ -180,6 +191,29 @@ func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
 	}
 	if opt.audit {
 		e.ledger = budget.NewLedger(ob)
+	}
+
+	// Atmosphere + land domain decomposition: partition the icosahedral
+	// cells into contiguous owned ranges, register the halo-exchange plans
+	// with the atmosphere, split the land columns with the same ownership
+	// map (after Adopt, so adopted cells are partitioned too), and build
+	// the distributed-coupling routers. Replicated operation — one rank, or
+	// WithAtmDecomp(false) — leaves dec nil and every legacy path intact.
+	e.u10 = make([]float64, atm.Mesh.NCells())
+	e.v10 = make([]float64, atm.Mesh.NCells())
+	if opt.atmDecomp && c.Size() > 1 && c.Size() <= atm.Mesh.NCells() {
+		d, err := grid.NewIcosDecomp(atm.Mesh, c)
+		if err != nil {
+			return nil, fmt.Errorf("core: atmosphere decomposition: %w", err)
+		}
+		d.SetObserver(ob)
+		atm.SetDecomp(d)
+		e.dec = d
+		e.stepSlots = lnd.Slots(d.InExt)
+		e.ownSlots = lnd.Slots(func(cell int) bool { return d.Owner(cell) == c.Rank() })
+		if err := e.initDistribute(); err != nil {
+			return nil, err
+		}
 	}
 
 	// Ocean steps per ocean coupling interval.
@@ -301,33 +335,42 @@ func (e *ESM) RunDays(days float64) int {
 }
 
 // atmosphereStep runs one atmosphere model step plus the direct land
-// exchange (the land model bypasses the coupler, §5.1.1). Under the
-// sequential schedule every rank computes the replicated atmosphere
-// redundantly; the concurrent schedule computes it once on rank 0 and
-// broadcasts the step's outputs, which is bit-for-bit the same state on
-// every rank while freeing the other ranks' time inside the overlap
-// window.
+// exchange (the land model bypasses the coupler, §5.1.1). Decomposed, every
+// rank steps its own patch and the halo exchanges inside StepModel are the
+// only cross-rank traffic — there is no atmosphere broadcast any more.
+// Replicated under the sequential schedule every rank computes the
+// atmosphere redundantly; replicated under the concurrent schedule computes
+// it once on rank 0 and broadcasts the step's outputs, which is bit-for-bit
+// the same state on every rank while freeing the other ranks' time inside
+// the overlap window.
 func (e *ESM) atmosphereStep() {
-	if e.schedule == ScheduleConc && e.Comm.Size() > 1 {
+	switch {
+	case e.dec != nil:
+		e.Atm.StepModel()
+	case e.schedule == ScheduleConc && e.Comm.Size() > 1:
 		if e.Comm.Rank() == 0 {
 			e.Atm.StepModel()
 		}
 		e.bcastAtmStep()
-	} else {
+	default:
 		e.Atm.StepModel()
 	}
 	e.landStep()
 }
 
-// landStep runs the direct atmosphere ↔ land exchange on land cells. The
-// land model is replicated, so every rank steps it from the (identical)
-// atmosphere state.
+// landStep runs the direct atmosphere ↔ land exchange on land cells.
+// Replicated, every rank steps every land column from the (identical)
+// atmosphere state. Decomposed, each rank steps the land columns of its
+// extended patch: owned cells for real, halo cells redundantly — the halo's
+// atmosphere forcing is bit-identical to the owner's, so the skin
+// temperature the redundant physics columns read matches the owner exactly.
 func (e *ESM) landStep() {
 	nc := e.Atm.Mesh.NCells()
 	kb := e.Atm.NLev - 1
-	u10, v10 := e.Atm.Wind10m()
+	e.Atm.Wind10mInto(e.u10, e.v10)
+	u10, v10 := e.u10, e.v10
 	dt := 86400.0 / float64(e.Cfg.AtmCouplingsPerDay)
-	for _, c := range e.Lnd.Cells {
+	step := func(c int) {
 		f := land.Forcing{
 			GSW:    e.Atm.GSW[c],
 			GLW:    e.Atm.GLW[c],
@@ -343,29 +386,43 @@ func (e *ESM) landStep() {
 			e.Atm.SST[c] = resp.TSkin
 		}
 	}
+	if e.dec == nil {
+		for _, c := range e.Lnd.Cells {
+			step(c)
+		}
+		return
+	}
+	for _, slot := range e.stepSlots {
+		step(e.Lnd.Cells[slot])
+	}
 }
 
 // iceStep imports atmosphere and ocean state into the ice model, steps it,
-// and refreshes the global ice fraction.
+// and refreshes the global ice fraction. Decomposed, the atmosphere forcing
+// arrives through the nearest-neighbour rearranger (no rank holds the whole
+// atmosphere); replicated, it is read from the local (identical) arrays.
 func (e *ESM) iceStep() {
-	ice := e.Ice
-	b := ice.B
-	nc := e.Atm.Mesh.NCells()
-	_ = nc
-	u10, v10 := e.Atm.Wind10m()
-	kb := e.Atm.NLev - 1
-	for lj := 0; lj < b.NJ; lj++ {
-		for li := 0; li < b.NI; li++ {
-			idx := b.LIdx(li, lj)
-			gi := b.GIdx(li, lj)
-			ac := e.Rg.OcnToAtm[gi]
-			ice.TAir[idx] = e.Atm.T[kb*e.Atm.Mesh.NCells()+ac]
-			ice.WindU[idx] = u10[ac]
-			ice.WindV[idx] = v10[ac]
-			ice.SST[idx] = e.Ocn.T[e.ocnIdx2(li, lj)] + 273.15
+	if e.dec != nil {
+		e.iceForcingDistributed()
+	} else {
+		ice := e.Ice
+		b := ice.B
+		nc := e.Atm.Mesh.NCells()
+		e.Atm.Wind10mInto(e.u10, e.v10)
+		kb := e.Atm.NLev - 1
+		for lj := 0; lj < b.NJ; lj++ {
+			for li := 0; li < b.NI; li++ {
+				idx := b.LIdx(li, lj)
+				gi := b.GIdx(li, lj)
+				ac := e.Rg.OcnToAtm[gi]
+				ice.TAir[idx] = e.Atm.T[kb*nc+ac]
+				ice.WindU[idx] = e.u10[ac]
+				ice.WindV[idx] = e.v10[ac]
+				ice.SST[idx] = e.Ocn.T[e.ocnIdx2(li, lj)] + 273.15
+			}
 		}
 	}
-	ice.Step()
+	e.Ice.Step()
 	e.refreshOceanSurface()
 	e.applySurfaceToAtmos()
 }
@@ -395,9 +452,14 @@ func (e *ESM) oceanImport() {
 	if e.af != nil {
 		e.computeAtmFluxes()
 	}
-	if e.remap == RemapCons {
+	switch {
+	case e.remap == RemapCons && e.dec != nil:
+		e.importConservativeDistributed()
+	case e.remap == RemapCons:
 		e.importConservative()
-	} else {
+	case e.dec != nil:
+		e.importNearestDistributed()
+	default:
 		e.importNearest()
 	}
 	if e.ledger != nil {
@@ -464,9 +526,16 @@ func (e *ESM) computeAtmFluxes() {
 	a := e.Atm
 	nc := a.Mesh.NCells()
 	kb := a.NLev - 1
-	u10, v10 := a.Wind10m()
+	a.Wind10mInto(e.u10, e.v10)
+	u10, v10 := e.u10, e.v10
 	f := e.af
-	for c := 0; c < nc; c++ {
+	c0, c1 := 0, nc
+	if e.dec != nil {
+		// Owned cells only: the flux parts feed the audit's owned-range
+		// partial sums and the conservative packer, both owner-indexed.
+		c0, c1 = e.dec.C0, e.dec.C1
+	}
+	for c := c0; c < c1; c++ {
 		if a.IsLand[c] || e.Rg.AtmOverlapArea[c] == 0 {
 			f.sw[c], f.lw[c], f.sens[c], f.lat[c], f.qnet[c] = 0, 0, 0, 0, 0
 			f.emp[c], f.taux[c], f.tauy[c] = 0, 0, 0
@@ -520,11 +589,13 @@ func (e *ESM) importConservative() {
 	}
 }
 
-// auditRecord tallies one coupling interval into the ledger: the
-// atmosphere-side export integrals over the overlap areas Ã_c (replicated,
-// no reduction needed), the ocean-side import integrals and storage terms
-// (one batched cross-rank reduction), and the replicated land and
-// atmosphere water stores.
+// auditRecord tallies one coupling interval into the ledger. Replicated,
+// the atmosphere-side export integrals over the overlap areas Ã_c need no
+// reduction, and only the ocean-side import integrals and storage terms
+// cross ranks (one batched reduction). Decomposed, the atmosphere-side
+// terms, the land water, and the atmosphere water are owned-range partial
+// sums too, and every term — both sides of every interface plus every
+// store — travels in a single batched AllreduceSlice.
 func (e *ESM) auditRecord() {
 	o := e.Ocn
 	b := o.B
@@ -532,19 +603,6 @@ func (e *ESM) auditRecord() {
 	iv := budget.Interval{
 		Seconds:       86400 / float64(e.Cfg.OcnCouplingsPerDay),
 		UnmappedCells: len(e.Rg.Unmapped),
-	}
-	for c, ar := range e.Rg.AtmOverlapArea {
-		if ar == 0 {
-			continue
-		}
-		iv.HeatSW += ar * f.sw[c]
-		iv.HeatLW += ar * f.lw[c]
-		iv.HeatSens += ar * f.sens[c]
-		iv.HeatLat += ar * f.lat[c]
-		iv.HeatAtmCpl += ar * f.qnet[c]
-		iv.HeatGross += ar * math.Abs(f.qnet[c])
-		iv.FWAtmCpl += ar * f.emp[c]
-		iv.FWGross += ar * math.Abs(f.emp[c])
 	}
 	// Ocean-side: undo the freshwater flux scaling to recover the delivered
 	// E−P, and split the same-grid ice→ocean heat out of QHeat so the
@@ -564,19 +622,74 @@ func (e *ESM) auditRecord() {
 			iceHeat += area * e.Ice.FreezeHeat[idx]
 		}
 	}
-	sums := e.Comm.AllreduceSlice([]float64{
-		heatIn, fwIn, iceHeat,
-		o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
-	}, par.OpSum)
-	iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[0], sums[1], sums[2]
-	iv.OcnHeat, iv.OcnSalt = sums[3], sums[4]
-	iv.IceFW = seaice.RhoIce * sums[5]
 	const rhoWater = 1000.0
-	for slot, c := range e.Lnd.Cells {
-		iv.LndWater += e.Lnd.Bucket[slot] * e.Atm.Mesh.AreaCell[c] *
+	if e.dec == nil {
+		for c, ar := range e.Rg.AtmOverlapArea {
+			if ar == 0 {
+				continue
+			}
+			iv.HeatSW += ar * f.sw[c]
+			iv.HeatLW += ar * f.lw[c]
+			iv.HeatSens += ar * f.sens[c]
+			iv.HeatLat += ar * f.lat[c]
+			iv.HeatAtmCpl += ar * f.qnet[c]
+			iv.HeatGross += ar * math.Abs(f.qnet[c])
+			iv.FWAtmCpl += ar * f.emp[c]
+			iv.FWGross += ar * math.Abs(f.emp[c])
+		}
+		sums := e.Comm.AllreduceSlice([]float64{
+			heatIn, fwIn, iceHeat,
+			o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
+		}, par.OpSum)
+		iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[0], sums[1], sums[2]
+		iv.OcnHeat, iv.OcnSalt = sums[3], sums[4]
+		iv.IceFW = seaice.RhoIce * sums[5]
+		for slot, c := range e.Lnd.Cells {
+			iv.LndWater += e.Lnd.Bucket[slot] * e.Atm.Mesh.AreaCell[c] *
+				grid.EarthRadius * grid.EarthRadius * rhoWater
+		}
+		iv.AtmWater = e.Atm.TotalMoisture()
+		e.ledger.Record(iv)
+		return
+	}
+	// Decomposed: atmosphere-side partials over this rank's owned cells (the
+	// owned ranges partition the mesh, so the sum over ranks reproduces the
+	// replicated integrals up to summation order), batched with the
+	// ocean-side terms into one 16-term reduction.
+	var aSW, aLW, aSens, aLat, aCpl, aGross, aFW, aFWGross float64
+	for c := e.dec.C0; c < e.dec.C1; c++ {
+		ar := e.Rg.AtmOverlapArea[c]
+		if ar == 0 {
+			continue
+		}
+		aSW += ar * f.sw[c]
+		aLW += ar * f.lw[c]
+		aSens += ar * f.sens[c]
+		aLat += ar * f.lat[c]
+		aCpl += ar * f.qnet[c]
+		aGross += ar * math.Abs(f.qnet[c])
+		aFW += ar * f.emp[c]
+		aFWGross += ar * math.Abs(f.emp[c])
+	}
+	var lndWater float64
+	for _, slot := range e.ownSlots {
+		c := e.Lnd.Cells[slot]
+		lndWater += e.Lnd.Bucket[slot] * e.Atm.Mesh.AreaCell[c] *
 			grid.EarthRadius * grid.EarthRadius * rhoWater
 	}
-	iv.AtmWater = e.Atm.TotalMoisture()
+	sums := e.Comm.AllreduceSlice([]float64{
+		aSW, aLW, aSens, aLat, aCpl, aGross, aFW, aFWGross,
+		heatIn, fwIn, iceHeat,
+		o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
+		lndWater, e.Atm.TotalMoistureLocal(),
+	}, par.OpSum)
+	iv.HeatSW, iv.HeatLW, iv.HeatSens, iv.HeatLat = sums[0], sums[1], sums[2], sums[3]
+	iv.HeatAtmCpl, iv.HeatGross, iv.FWAtmCpl, iv.FWGross = sums[4], sums[5], sums[6], sums[7]
+	iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[8], sums[9], sums[10]
+	iv.OcnHeat, iv.OcnSalt = sums[11], sums[12]
+	iv.IceFW = seaice.RhoIce * sums[13]
+	iv.LndWater = sums[14]
+	iv.AtmWater = sums[15]
 	e.ledger.Record(iv)
 }
 

@@ -16,6 +16,7 @@ type options struct {
 	schedule    Schedule
 	remap       RemapMode
 	audit       bool
+	atmDecomp   bool
 }
 
 // Option configures model assembly.
@@ -67,14 +68,27 @@ func WithAudit(on bool) Option {
 	return func(opt *options) { opt.audit = on }
 }
 
+// WithAtmDecomp selects whether the atmosphere + land are domain-decomposed
+// across the communicator (the default) or computed redundantly on every
+// rank (the historical replicated dataflow, kept as the 1-rank degenerate
+// case and for A/B measurement). Decomposition partitions the icosahedral
+// cells into contiguous ranges, keeps a one-ring halo current through
+// point-to-point exchanges, and routes the atm→ocn coupling through the
+// offline-scheduled rearranger; the prognostic state is bit-for-bit
+// identical to the replicated dataflow at any rank count.
+func WithAtmDecomp(on bool) Option {
+	return func(opt *options) { opt.atmDecomp = on }
+}
+
 // defaultOptions mirrors the quickstart setup: one simulated day from the
 // repository's reference start date, Serial space, in-memory observer.
 func defaultOptions() options {
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	return options{
-		start: start,
-		stop:  start.Add(24 * time.Hour),
-		sp:    pp.Serial{},
+		start:     start,
+		stop:      start.Add(24 * time.Hour),
+		sp:        pp.Serial{},
+		atmDecomp: true,
 	}
 }
 

@@ -3,6 +3,8 @@ package core
 import (
 	"math"
 
+	"repro/internal/atmos"
+	"repro/internal/par"
 	"repro/internal/pario"
 )
 
@@ -40,6 +42,38 @@ func (e *ESM) WriteSnapshot(path string) error {
 	copy(iceLoc, e.Ice.Conc)
 	iceG := b.GatherGlobal(iceLoc)
 
+	// Atmosphere-cell diagnostics. Replicated, every rank's arrays already
+	// hold the global state; decomposed, each rank fills its owned cells and
+	// a sum-allreduce assembles the global field (the owned ranges partition
+	// the mesh, so the sum places each value exactly once). Collective either
+	// way, matching the gathers above.
+	m := e.Atm
+	nc := m.Mesh.NCells()
+	atmField := func(fill func(c int, out []float64)) []float64 {
+		out := make([]float64, nc)
+		if e.dec == nil {
+			for c := 0; c < nc; c++ {
+				fill(c, out)
+			}
+			return out
+		}
+		for c := e.dec.C0; c < e.dec.C1; c++ {
+			fill(c, out)
+		}
+		return e.Comm.AllreduceSlice(out, par.OpSum)
+	}
+	m.Wind10mInto(e.u10, e.v10)
+	speed := atmField(func(c int, out []float64) { out[c] = math.Hypot(e.u10[c], e.v10[c]) })
+	ps := atmField(func(c int, out []float64) { out[c] = m.Ps[c] })
+	precip := atmField(func(c int, out []float64) { out[c] = m.Precip[c] })
+	cloud := atmField(func(c int, out []float64) {
+		var w float64
+		for k := 0; k < m.NLev; k++ {
+			w += m.Qv[k*nc+c] * m.Ps[c] * m.DSig[k] / atmos.Gravity
+		}
+		out[c] = math.Min(1, w/50)
+	})
+
 	if e.Comm.Rank() == 0 {
 		whole := func(name string, data []float64) {
 			fields = append(fields, pario.Field{Name: name, Global: len(data), Start: 0, Data: data})
@@ -51,17 +85,10 @@ func (e *ESM) WriteSnapshot(path string) error {
 		if len(roG) != n2g {
 			panic("core: snapshot gather size mismatch")
 		}
-
-		m := e.Atm
-		u, v := m.Wind10m()
-		speed := make([]float64, len(u))
-		for i := range u {
-			speed[i] = math.Hypot(u[i], v[i])
-		}
-		whole("atm.ps", append([]float64(nil), m.Ps...))
+		whole("atm.ps", ps)
 		whole("atm.wind10m", speed)
-		whole("atm.precip", append([]float64(nil), m.Precip...))
-		whole("atm.cloud", m.TotalCloudProxy())
+		whole("atm.precip", precip)
+		whole("atm.cloud", cloud)
 		// Cell coordinates so a plotting tool can place the unstructured
 		// atmosphere values.
 		whole("atm.loncell", append([]float64(nil), m.Mesh.LonCell...))

@@ -226,7 +226,7 @@ func (e *ESM) healthLocal() error {
 			return fmt.Errorf("core: atm health: t[%d] = %g K at step %d", i, v, step)
 		}
 	}
-	if w := m.MaxWind(); w > healthMaxWind {
+	if w := m.MaxWindLocal(); w > healthMaxWind {
 		return fmt.Errorf("core: atm health: max wind %.1f m/s beyond the %g CFL guardrail at step %d",
 			w, healthMaxWind, step)
 	}

@@ -13,9 +13,13 @@ import (
 // Restart support: the coupled model checkpoints through the §5.2.5
 // subfile-partitioned parallel I/O and resumes bit-for-bit. Distributed
 // ocean/ice fields are written as per-row chunks of the global index space
-// by every rank; the replicated atmosphere and land states are written by
-// rank 0 only; each rank reads the whole (small) restart set back and keeps
-// its own region.
+// by every rank. Replicated atmosphere and land states are written by rank 0
+// only; decomposed, every rank writes the chunks it owns — contiguous cell
+// ranges, the per-level runs of its owned edges, and the runs of its owned
+// land slots — so the checkpoint is a rank-count-independent global image
+// either way. Each rank reads the whole (small) restart set back and keeps
+// its own region, which also makes restarts valid across rank counts and
+// across the replicated/decomposed dataflows.
 
 // restartMeta packs the counters a resumed run must reinstate.
 const metaField = "meta"
@@ -148,33 +152,96 @@ func (e *ESM) restartFields() []pario.Field {
 		}
 	}
 
-	// --- Replicated atmosphere + land, written by rank 0 ---
+	// --- Atmosphere + land ---
+	m := e.Atm
+	if e.dec == nil {
+		// Replicated: rank 0 writes the whole arrays.
+		if e.Comm.Rank() == 0 {
+			whole := func(name string, data []float64) {
+				cp := append([]float64(nil), data...)
+				fields = append(fields, pario.Field{Name: name, Global: len(cp), Start: 0, Data: cp})
+			}
+			whole("atm.ps", m.Ps)
+			whole("atm.t", m.T)
+			whole("atm.qv", m.Qv)
+			whole("atm.u", m.U)
+			whole("atm.sst", m.SST)
+			whole("atm.icefrac", m.IceFrac)
+			whole("atm.gsw", m.GSW)
+			whole("atm.glw", m.GLW)
+			whole("atm.precip", m.Precip)
+			whole("atm.taux", m.TauX)
+			whole("atm.tauy", m.TauY)
+			whole("atm.shf", m.SHF)
+			whole("atm.lhf", m.LHF)
+			edge, dps := m.FluxAccumulators()
+			if edge != nil {
+				whole("atm.fluxedge", edge)
+				whole("atm.fluxdps", dps)
+			}
+			whole("lnd.tsoil", e.Lnd.TSoil)
+			whole("lnd.bucket", e.Lnd.Bucket)
+		}
+	} else {
+		// Decomposed: every rank writes what it owns. Owned cell ranges,
+		// owned edges, and owned land slots each partition their global index
+		// space across ranks, so the union of chunks is exactly one global
+		// image — bit-identical to what a replicated rank 0 would write.
+		d := e.dec
+		nc := m.Mesh.NCells()
+		ne := m.Mesh.NEdges()
+		chunk := func(name string, global, start int, data []float64) {
+			cp := append([]float64(nil), data...)
+			fields = append(fields, pario.Field{Name: name, Global: global, Start: start, Data: cp})
+		}
+		// Per-cell surface fields: one contiguous owned chunk.
+		for _, fc := range []struct {
+			name string
+			data []float64
+		}{
+			{"atm.ps", m.Ps}, {"atm.sst", m.SST}, {"atm.icefrac", m.IceFrac},
+			{"atm.gsw", m.GSW}, {"atm.glw", m.GLW}, {"atm.precip", m.Precip},
+			{"atm.taux", m.TauX}, {"atm.tauy", m.TauY},
+			{"atm.shf", m.SHF}, {"atm.lhf", m.LHF},
+		} {
+			chunk(fc.name, nc, d.C0, fc.data[d.C0:d.C1])
+		}
+		// Per-level cell fields: one owned chunk per level.
+		for _, f3 := range []struct {
+			name string
+			data []float64
+		}{{"atm.t", m.T}, {"atm.qv", m.Qv}} {
+			for k := 0; k < m.NLev; k++ {
+				chunk(f3.name, m.NLev*nc, k*nc+d.C0, f3.data[k*nc+d.C0:k*nc+d.C1])
+			}
+		}
+		// Edge fields: the runs of this rank's owned edges, per level.
+		edgeRuns := ownedLandRuns(d.OwnEdges)
+		edgeField := func(name string, data []float64) {
+			for k := 0; k < m.NLev; k++ {
+				for _, r := range edgeRuns {
+					s := k*ne + r[0]
+					chunk(name, m.NLev*ne, s, data[s:s+r[1]])
+				}
+			}
+		}
+		edgeField("atm.u", m.U)
+		edge, dps := m.FluxAccumulators()
+		if edge != nil {
+			edgeField("atm.fluxedge", edge)
+			chunk("atm.fluxdps", nc, d.C0, dps[d.C0:d.C1])
+		}
+		// Land: the runs of this rank's owned slots.
+		for _, r := range ownedLandRuns(e.ownSlots) {
+			chunk("lnd.tsoil", len(e.Lnd.TSoil), r[0], e.Lnd.TSoil[r[0]:r[0]+r[1]])
+			chunk("lnd.bucket", len(e.Lnd.Bucket), r[0], e.Lnd.Bucket[r[0]:r[0]+r[1]])
+		}
+	}
 	if e.Comm.Rank() == 0 {
-		m := e.Atm
 		whole := func(name string, data []float64) {
 			cp := append([]float64(nil), data...)
 			fields = append(fields, pario.Field{Name: name, Global: len(cp), Start: 0, Data: cp})
 		}
-		whole("atm.ps", m.Ps)
-		whole("atm.t", m.T)
-		whole("atm.qv", m.Qv)
-		whole("atm.u", m.U)
-		whole("atm.sst", m.SST)
-		whole("atm.icefrac", m.IceFrac)
-		whole("atm.gsw", m.GSW)
-		whole("atm.glw", m.GLW)
-		whole("atm.precip", m.Precip)
-		whole("atm.taux", m.TauX)
-		whole("atm.tauy", m.TauY)
-		whole("atm.shf", m.SHF)
-		whole("atm.lhf", m.LHF)
-		edge, dps := m.FluxAccumulators()
-		if edge != nil {
-			whole("atm.fluxedge", edge)
-			whole("atm.fluxdps", dps)
-		}
-		whole("lnd.tsoil", e.Lnd.TSoil)
-		whole("lnd.bucket", e.Lnd.Bucket)
 		whole("sfc.sstglobal", e.sstGlobal)
 		whole("sfc.iceglobal", e.iceGlobal)
 		whole(metaField, []float64{

@@ -67,11 +67,19 @@ type sectionAdder interface {
 // identical to the sequential schedule.
 //
 // Concurrency discipline on the shared communicator: the ocean goroutine
-// performs only point-to-point halo traffic, the driver goroutine only
-// collectives (the atmosphere broadcast) — independent channel classes, so
-// neither can consume the other's messages. The ocean goroutine makes no
-// obs span calls (spans nest per rank); its wall time is measured with a
-// plain clock and folded into sections at the join.
+// performs only point-to-point halo traffic on the ocean tag range, and
+// during the overlap window the driver goroutine performs either the
+// replicated atmosphere's broadcast collective or — decomposed — the
+// atmosphere's own point-to-point halo exchanges on the disjoint icosahedral
+// tag range. Point-to-point matching is per (source, tag), so neither
+// goroutine can consume the other's messages, and the decomposed halo
+// exchanges are barrier-free by design so no collective runs concurrently
+// with the ocean's traffic. The coupling rearranges, which do end in a
+// barrier, run only on the driver goroutine outside the overlap window: in
+// oceanImport before the ocean goroutine launches and in iceStep after the
+// join. The ocean goroutine makes no obs span calls (spans nest per rank);
+// its wall time is measured with a plain clock and folded into sections at
+// the join.
 func (e *ESM) stepConcurrent(atmRings, iceRings bool) {
 	osp := e.obs.StartSpan("ocn")
 	e.oceanImport()
@@ -126,7 +134,9 @@ func (e *ESM) OverlapFraction() float64 {
 }
 
 // bcastAtmStep replicates rank 0's atmosphere step outputs to every rank
-// through one persistent flat buffer. par.Bcast shares the root's slice by
+// through one persistent flat buffer — the replicated concurrent schedule's
+// single-writer path; decomposed runs never call it (each rank owns its
+// patch and there is nothing to broadcast). par.Bcast shares the root's slice by
 // reference, so non-root ranks copy out immediately; rank 0's next repack
 // of the buffer is ordered after those copies by the surface-export
 // collectives every base step performs before the next atmosphere step.

@@ -142,7 +142,7 @@ func RearrangeInto(c *par.Comm, r *Router, src, dst *AttrVect, mode RearrangeMod
 			}
 			buf := r.pbuf(pe, nf*len(r.SendTo[pe]))
 			packInto(buf, src, r.SendTo[pe])
-			par.Send(c, pe, rearrangeTag, buf)
+			par.SendF64(c, pe, rearrangeTag, buf)
 		}
 		if offs := r.SendTo[me]; len(offs) > 0 {
 			buf := r.pbuf(me, nf*len(offs))
@@ -157,7 +157,7 @@ func RearrangeInto(c *par.Comm, r *Router, src, dst *AttrVect, mode RearrangeMod
 			if pe == me || len(r.RecvFrom[pe]) == 0 {
 				continue
 			}
-			data, _ := par.Recv[[]float64](c, pe, rearrangeTag)
+			data, _ := par.RecvF64(c, pe, rearrangeTag)
 			if err := unpackFrom(dst, r.RecvFrom[pe], data); err != nil && firstErr == nil {
 				firstErr = err
 			}

@@ -1,0 +1,390 @@
+package grid
+
+import (
+	"fmt"
+
+	"repro/internal/par"
+)
+
+// IcosDecomp is the icosahedral-mesh analogue of the tripolar Block: a
+// contiguous-range domain decomposition of the atmosphere's cells across the
+// communicator, with precomputed halo adjacency and an allocation-free halo
+// exchange over par point-to-point messages.
+//
+// Ownership is by contiguous cell range: rank r owns cells
+// [Starts[r], Starts[r+1]), with Starts[r] = ⌊r·N/size⌋, so every cell is
+// owned by exactly one rank and no rank holds more than ⌈N/size⌉ cells for
+// any rank count, dividing or not.
+//
+// The stencil closure of the dycore fixes the derived sets:
+//
+//   - ExtCells: owned cells plus the first ring of neighbours (HaloCells) —
+//     where cell-centred diagnostics (tv, phi, ke, div, θ) and the
+//     redundantly-computed physics columns must be valid;
+//   - CompEdges: edges with at least one owned endpoint. Adjacent ranks
+//     compute these redundantly from identical inputs, which keeps the
+//     overlap bit-identical without any edge-tendency exchange;
+//   - ExtEdges: every edge of an ExtCell — where the velocity must be valid
+//     before a substep;
+//   - RecvEdges: ExtEdges \ CompEdges, received from the rank that owns the
+//     edge (the owner of its first cell; CellsOnEdge is normalized c1 < c2,
+//     so edge ownership is well defined and identical on every rank);
+//   - CompVerts: the vertices of CompEdges. Every cell and edge their
+//     stencils touch lies in ExtCells/ExtEdges, so vorticity needs no
+//     exchange either;
+//   - OwnEdges: edges whose first cell is owned — a partition of the edge
+//     set, used for restart writes.
+//
+// The exchange plans are built offline and symmetrically: every rank derives
+// every rank's halo from the same mesh and the same ownership rule, so the
+// send and receive lists of a pair agree without any negotiation traffic
+// (the MCT GSMap trick applied to the mesh halo).
+type IcosDecomp struct {
+	M    *IcosMesh
+	comm *par.Comm
+
+	Starts []int // len size+1; rank r owns [Starts[r], Starts[r+1])
+	C0, C1 int   // this rank's owned cell range
+
+	ExtCells  []int // owned ∪ ring-1 halo, ascending
+	HaloCells []int // ring-1 halo only, ascending
+	CompEdges []int // edges with ≥1 owned endpoint, ascending
+	ExtEdges  []int // edges of ExtCells, ascending
+	RecvEdges []int // ExtEdges \ CompEdges, ascending
+	CompVerts []int // vertices of CompEdges, ascending
+	OwnEdges  []int // edges with owned first cell, ascending
+
+	inExtCell []bool
+	inExtEdge []bool
+
+	// Symmetrized peer set (ascending): the union of every rank this rank
+	// exchanges cells or edges with in either direction. Each exchange call
+	// sends exactly one (possibly empty) message to, and receives exactly one
+	// from, every peer — the invariant that makes the two-deep parity buffer
+	// pipeline safe without a barrier.
+	Peers []int
+
+	cellSend [][]int // per peer: owned cells to pack, ascending
+	cellRecv [][]int // per peer: halo cells to fill, ascending
+	edgeSend [][]int // per peer: computed edges to pack, ascending
+	edgeRecv [][]int // per peer: stale edges to fill, ascending
+
+	// Parity double buffers, per exchange class: an exchange alternates
+	// buffer sets, and a peer is guaranteed to have drained parity-p's
+	// previous message before this rank repacks it (its own call n+1 cannot
+	// have completed otherwise), so steady-state exchanges allocate nothing.
+	cellBuf [2][][]float64
+	edgeBuf [2][][]float64
+	cellPar int
+	edgePar int
+
+	obs HaloObserver
+}
+
+// HaloObserver is the instrumentation hook of the halo exchange — the
+// structural subset of obs.Observer the grid layer needs, declared locally
+// to keep the dependency order (obs sits above par, beside grid).
+type HaloObserver interface {
+	AddCount(name string, delta int64)
+}
+
+// exchange message tags: disjoint from the tripolar Block's 1000–1004 and
+// the coupler rearranger's 7100, so the concurrent schedule can run the
+// atmosphere halo on the driver goroutine while the ocean goroutine drains
+// its own halo traffic on the same mailboxes.
+const (
+	tagHaloCells = 6000
+	tagHaloEdges = 6001
+)
+
+// NewIcosDecomp partitions the mesh across the communicator and precomputes
+// the halo sets and symmetric exchange plans. Every rank must call it
+// (collective only in the trivial sense: no traffic, identical offline
+// construction).
+func NewIcosDecomp(mesh *IcosMesh, comm *par.Comm) (*IcosDecomp, error) {
+	size, rank := comm.Size(), comm.Rank()
+	nc := mesh.NCells()
+	if size > nc {
+		return nil, fmt.Errorf("grid: %d ranks exceed %d cells", size, nc)
+	}
+	d := &IcosDecomp{M: mesh, comm: comm}
+	d.Starts = make([]int, size+1)
+	for r := 0; r <= size; r++ {
+		d.Starts[r] = r * nc / size
+	}
+	d.C0, d.C1 = d.Starts[rank], d.Starts[rank+1]
+
+	owner := d.Owner
+	// Per-rank ring-1 halo cells, from one pass over the cross-owner
+	// adjacencies. halo[r] is rank r's halo, identical on every rank.
+	halo := make([][]int, size)
+	seen := make([]int, nc) // rank+1 markers, avoids clearing between ranks
+	for r := 0; r < size; r++ {
+		for c := d.Starts[r]; c < d.Starts[r+1]; c++ {
+			for _, nb := range mesh.CellsOnCell[c] {
+				if owner(nb) != r && seen[nb] != r+1 {
+					seen[nb] = r + 1
+					halo[r] = append(halo[r], nb)
+				}
+			}
+		}
+	}
+	for r := range halo {
+		sortInts(halo[r])
+	}
+	d.HaloCells = halo[rank]
+	d.ExtCells = mergeSorted(rangeInts(d.C0, d.C1), d.HaloCells)
+	d.inExtCell = make([]bool, nc)
+	for _, c := range d.ExtCells {
+		d.inExtCell[c] = true
+	}
+
+	ne := mesh.NEdges()
+	// Edge sets for this rank.
+	inComp := make([]bool, ne)
+	for c := d.C0; c < d.C1; c++ {
+		for _, e := range mesh.EdgesOnCell[c] {
+			inComp[e] = true
+		}
+	}
+	d.inExtEdge = make([]bool, ne)
+	for _, c := range d.ExtCells {
+		for _, e := range mesh.EdgesOnCell[c] {
+			d.inExtEdge[e] = true
+		}
+	}
+	for e := 0; e < ne; e++ {
+		if inComp[e] {
+			d.CompEdges = append(d.CompEdges, e)
+		}
+		if d.inExtEdge[e] {
+			d.ExtEdges = append(d.ExtEdges, e)
+			if !inComp[e] {
+				d.RecvEdges = append(d.RecvEdges, e)
+			}
+		}
+		if owner(mesh.CellsOnEdge[e][0]) == rank {
+			d.OwnEdges = append(d.OwnEdges, e)
+		}
+	}
+	inCompVert := make([]bool, mesh.NVertices())
+	for _, e := range d.CompEdges {
+		inCompVert[mesh.VerticesOnEdge[e][0]] = true
+		inCompVert[mesh.VerticesOnEdge[e][1]] = true
+	}
+	for v := range inCompVert {
+		if inCompVert[v] {
+			d.CompVerts = append(d.CompVerts, v)
+		}
+	}
+
+	// Cell exchange plan. Rank s sends owned cell c to rank r exactly when
+	// c ∈ halo[r]; both sides enumerate halo[r] in ascending order, so the
+	// packed layouts agree.
+	cellSendTo := make([][]int, size)
+	cellRecvFrom := make([][]int, size)
+	for r := 0; r < size; r++ {
+		for _, h := range halo[r] {
+			o := owner(h)
+			if r == rank {
+				cellRecvFrom[o] = append(cellRecvFrom[o], h)
+			}
+			if o == rank && r != rank {
+				cellSendTo[r] = append(cellSendTo[r], h)
+			}
+		}
+	}
+
+	// Edge exchange plan: rank r's RecvEdges are the edges of r's ExtCells
+	// with no endpoint owned by r; each is sent by the owner of its first
+	// cell. Derived for every rank from the same data, so the plan is
+	// symmetric by construction.
+	edgeSendTo := make([][]int, size)
+	edgeRecvFrom := make([][]int, size)
+	extEdgeOf := make([]int, 0, len(d.ExtEdges)) // scratch, reused per rank
+	inExtR := make([]int, ne)                    // rank+1 markers, avoids clearing
+	for r := 0; r < size; r++ {
+		extEdgeOf = extEdgeOf[:0]
+		collect := func(c int) {
+			for _, e := range mesh.EdgesOnCell[c] {
+				if inExtR[e] != r+1 {
+					inExtR[e] = r + 1
+					extEdgeOf = append(extEdgeOf, e)
+				}
+			}
+		}
+		for c := d.Starts[r]; c < d.Starts[r+1]; c++ {
+			collect(c)
+		}
+		for _, c := range halo[r] {
+			collect(c)
+		}
+		sortInts(extEdgeOf)
+		for _, e := range extEdgeOf {
+			c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
+			if owner(c1) == r || owner(c2) == r {
+				continue // r computes this edge itself
+			}
+			src := owner(c1)
+			if r == rank {
+				edgeRecvFrom[src] = append(edgeRecvFrom[src], e)
+			}
+			if src == rank && r != rank {
+				edgeSendTo[r] = append(edgeSendTo[r], e)
+			}
+		}
+	}
+
+	// Symmetrize the peer set: one send and one receive per peer per
+	// exchange, empty messages allowed.
+	isPeer := make([]bool, size)
+	for r := 0; r < size; r++ {
+		if r == rank {
+			continue
+		}
+		if len(cellSendTo[r]) > 0 || len(cellRecvFrom[r]) > 0 ||
+			len(edgeSendTo[r]) > 0 || len(edgeRecvFrom[r]) > 0 {
+			isPeer[r] = true
+		}
+	}
+	// A peer in one direction must be a peer in the other: cells are
+	// symmetric by adjacency, edges need the explicit union. Every rank
+	// computes the same union because every list above is derived from
+	// rank-independent data.
+	for r := 0; r < size; r++ {
+		if isPeer[r] {
+			d.Peers = append(d.Peers, r)
+			d.cellSend = append(d.cellSend, cellSendTo[r])
+			d.cellRecv = append(d.cellRecv, cellRecvFrom[r])
+			d.edgeSend = append(d.edgeSend, edgeSendTo[r])
+			d.edgeRecv = append(d.edgeRecv, edgeRecvFrom[r])
+		}
+	}
+	for pb := 0; pb < 2; pb++ {
+		d.cellBuf[pb] = make([][]float64, len(d.Peers))
+		d.edgeBuf[pb] = make([][]float64, len(d.Peers))
+	}
+	return d, nil
+}
+
+// Owner returns the rank owning cell c under the contiguous-range rule.
+func (d *IcosDecomp) Owner(c int) int {
+	n := len(d.Starts) - 1
+	return (n*(c+1) - 1) / d.M.NCells()
+}
+
+// InExt reports whether cell c is in this rank's extended (owned + halo)
+// region.
+func (d *IcosDecomp) InExt(c int) bool { return d.inExtCell[c] }
+
+// InExtEdge reports whether edge e is in this rank's extended edge set.
+func (d *IcosDecomp) InExtEdge(e int) bool { return d.inExtEdge[e] }
+
+// NOwned returns the number of owned cells.
+func (d *IcosDecomp) NOwned() int { return d.C1 - d.C0 }
+
+// SetObserver attaches the halo traffic counters (cpl.atm.halo.msgs/bytes).
+func (d *IcosDecomp) SetObserver(o HaloObserver) { d.obs = o }
+
+// ExchangeCells fills the ring-1 halo of a cell-centred field with nlev
+// levels laid out [k*nCells + c]: each peer receives this rank's owned
+// boundary cells and contributes the halo cells it owns. Zero steady-state
+// allocations; safe concurrently with the ocean's halo traffic (disjoint
+// tags).
+func (d *IcosDecomp) ExchangeCells(f []float64, nlev int) {
+	d.cellPar ^= 1
+	d.exchange(f, nlev, d.M.NCells(), tagHaloCells, d.cellSend, d.cellRecv, d.cellBuf[d.cellPar])
+}
+
+// ExchangeEdges fills the stale extended edges of an edge field with nlev
+// levels laid out [k*nEdges + e] from the edges' owning ranks. The slice may
+// be a single-level window (nlev = 1) of a larger field, e.g. the lowest
+// level after the physics' surface-drag projection.
+func (d *IcosDecomp) ExchangeEdges(f []float64, nlev int) {
+	d.edgePar ^= 1
+	d.exchange(f, nlev, d.M.NEdges(), tagHaloEdges, d.edgeSend, d.edgeRecv, d.edgeBuf[d.edgePar])
+}
+
+func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][]int, bufs [][]float64) {
+	if len(f) < nlev*stride {
+		panic(fmt.Sprintf("grid: halo exchange on %d values, want ≥ %d", len(f), nlev*stride))
+	}
+	var bytes int64
+	for pi, p := range d.Peers {
+		list := send[pi]
+		need := nlev * len(list)
+		buf := bufs[pi]
+		if cap(buf) < need {
+			buf = make([]float64, need)
+			bufs[pi] = buf
+		}
+		buf = buf[:need]
+		for k := 0; k < nlev; k++ {
+			base := k * stride
+			out := buf[k*len(list) : (k+1)*len(list)]
+			for i, idx := range list {
+				out[i] = f[base+idx]
+			}
+		}
+		par.SendF64(d.comm, p, tag, buf)
+		bytes += int64(8 * need)
+	}
+	for pi, p := range d.Peers {
+		list := recv[pi]
+		msg, _ := par.RecvF64(d.comm, p, tag)
+		if len(msg) != nlev*len(list) {
+			panic(fmt.Sprintf("grid: halo message from rank %d has %d values, want %d", p, len(msg), nlev*len(list)))
+		}
+		for k := 0; k < nlev; k++ {
+			base := k * stride
+			in := msg[k*len(list) : (k+1)*len(list)]
+			for i, idx := range list {
+				f[base+idx] = in[i]
+			}
+		}
+	}
+	if d.obs != nil && len(d.Peers) > 0 {
+		d.obs.AddCount("cpl.atm.halo.msgs", int64(len(d.Peers)))
+		d.obs.AddCount("cpl.atm.halo.bytes", bytes)
+	}
+}
+
+// rangeInts returns [lo, hi) as a slice.
+func rangeInts(lo, hi int) []int {
+	out := make([]int, hi-lo)
+	for i := range out {
+		out[i] = lo + i
+	}
+	return out
+}
+
+// mergeSorted merges two ascending, disjoint int slices.
+func mergeSorted(a, b []int) []int {
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] < b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	return append(out, b[j:]...)
+}
+
+func sortInts(s []int) {
+	// Insertion sort: the lists are short (ring-1 halos) and mostly sorted
+	// (generated in ascending owner-cell order).
+	for i := 1; i < len(s); i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+}

@@ -1,0 +1,345 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/par"
+)
+
+func icosMesh(t testing.TB, level int) *IcosMesh {
+	t.Helper()
+	m, err := NewIcosMesh(level)
+	if err != nil {
+		t.Fatalf("NewIcosMesh(%d): %v", level, err)
+	}
+	return m
+}
+
+// decompInvariants checks the structural contract of one rank's decomposition
+// and returns the owned count for the imbalance check.
+func decompInvariants(t *testing.T, d *IcosDecomp, rank, size int) int {
+	t.Helper()
+	m := d.M
+	nc := m.NCells()
+	// Owner agrees with the range table, covers [0, size), and owns this
+	// rank's range.
+	for c := 0; c < nc; c++ {
+		o := d.Owner(c)
+		if o < 0 || o >= size {
+			t.Fatalf("rank %d: Owner(%d) = %d out of range", rank, c, o)
+		}
+		if (c >= d.C0 && c < d.C1) != (o == rank) {
+			t.Fatalf("rank %d: Owner(%d)=%d disagrees with range [%d,%d)", rank, c, o, d.C0, d.C1)
+		}
+	}
+	// ExtCells = owned ∪ halo, ascending, halo disjoint from owned.
+	for i := 1; i < len(d.ExtCells); i++ {
+		if d.ExtCells[i] <= d.ExtCells[i-1] {
+			t.Fatalf("rank %d: ExtCells not strictly ascending at %d", rank, i)
+		}
+	}
+	if len(d.ExtCells) != d.NOwned()+len(d.HaloCells) {
+		t.Fatalf("rank %d: |ExtCells| %d != owned %d + halo %d", rank, len(d.ExtCells), d.NOwned(), len(d.HaloCells))
+	}
+	for _, h := range d.HaloCells {
+		if d.Owner(h) == rank {
+			t.Fatalf("rank %d: halo cell %d is owned", rank, h)
+		}
+		// Every halo cell is adjacent to an owned cell.
+		adj := false
+		for _, nb := range m.CellsOnCell[h] {
+			if d.Owner(nb) == rank {
+				adj = true
+			}
+		}
+		if !adj {
+			t.Fatalf("rank %d: halo cell %d not adjacent to owned region", rank, h)
+		}
+	}
+	// Ring-1 closure: every neighbour of an owned cell is in ExtCells.
+	for c := d.C0; c < d.C1; c++ {
+		for _, nb := range m.CellsOnCell[c] {
+			if !d.InExt(nb) {
+				t.Fatalf("rank %d: neighbour %d of owned %d missing from ExtCells", rank, nb, c)
+			}
+		}
+	}
+	// CompEdges are exactly the edges with an owned endpoint; RecvEdges are
+	// the extended edges without one; CompVerts' stencils stay inside the
+	// extended sets (the no-vertex-exchange guarantee).
+	for _, e := range d.CompEdges {
+		c1, c2 := m.CellsOnEdge[e][0], m.CellsOnEdge[e][1]
+		if d.Owner(c1) != rank && d.Owner(c2) != rank {
+			t.Fatalf("rank %d: CompEdge %d has no owned endpoint", rank, e)
+		}
+	}
+	for _, e := range d.RecvEdges {
+		c1, c2 := m.CellsOnEdge[e][0], m.CellsOnEdge[e][1]
+		if d.Owner(c1) == rank || d.Owner(c2) == rank {
+			t.Fatalf("rank %d: RecvEdge %d has an owned endpoint", rank, e)
+		}
+		if !d.InExtEdge(e) {
+			t.Fatalf("rank %d: RecvEdge %d not in ExtEdges", rank, e)
+		}
+	}
+	for _, v := range d.CompVerts {
+		for _, e := range m.EdgesOnVertex[v] {
+			if !d.InExtEdge(e) {
+				t.Fatalf("rank %d: vertex %d stencil edge %d outside ExtEdges", rank, v, e)
+			}
+		}
+		for _, c := range m.CellsOnVertex[v] {
+			if !d.InExt(c) {
+				t.Fatalf("rank %d: vertex %d stencil cell %d outside ExtCells", rank, v, c)
+			}
+		}
+	}
+	return d.NOwned()
+}
+
+func TestIcosDecompInvariants(t *testing.T) {
+	m := icosMesh(t, 2) // 162 cells
+	for _, ranks := range []int{1, 2, 3, 4, 5, 7} {
+		owned := make([]int, ranks)
+		ownEdgeCount := make([]int, ranks)
+		par.Run(ranks, func(c *par.Comm) {
+			d, err := NewIcosDecomp(m, c)
+			if err != nil {
+				t.Errorf("NewIcosDecomp: %v", err)
+				return
+			}
+			owned[c.Rank()] = decompInvariants(t, d, c.Rank(), ranks)
+			ownEdgeCount[c.Rank()] = len(d.OwnEdges)
+		})
+		// Every cell owned exactly once, imbalance ≤ ceil(N/ranks).
+		total, maxOwned := 0, 0
+		for _, n := range owned {
+			total += n
+			if n > maxOwned {
+				maxOwned = n
+			}
+		}
+		if total != m.NCells() {
+			t.Fatalf("ranks=%d: owned cells sum to %d, want %d", ranks, total, m.NCells())
+		}
+		ceil := (m.NCells() + ranks - 1) / ranks
+		if maxOwned > ceil {
+			t.Fatalf("ranks=%d: max owned %d exceeds ceil(N/ranks)=%d", ranks, maxOwned, ceil)
+		}
+		// OwnEdges partitions the edge set.
+		te := 0
+		for _, n := range ownEdgeCount {
+			te += n
+		}
+		if te != m.NEdges() {
+			t.Fatalf("ranks=%d: OwnEdges sum to %d, want %d", ranks, te, m.NEdges())
+		}
+	}
+}
+
+// TestIcosDecompHaloSymmetry checks that the exchange plans of every rank
+// pair mirror each other entry for entry — rank a's send list to b is b's
+// receive list from a, in identical order.
+func TestIcosDecompHaloSymmetry(t *testing.T) {
+	m := icosMesh(t, 2)
+	for _, ranks := range []int{2, 3, 4, 5} {
+		ds := make([]*IcosDecomp, ranks)
+		par.Run(ranks, func(c *par.Comm) {
+			d, err := NewIcosDecomp(m, c)
+			if err != nil {
+				t.Errorf("NewIcosDecomp: %v", err)
+				return
+			}
+			ds[c.Rank()] = d
+		})
+		peerIdx := func(d *IcosDecomp, r int) int {
+			for i, p := range d.Peers {
+				if p == r {
+					return i
+				}
+			}
+			return -1
+		}
+		for a := 0; a < ranks; a++ {
+			for _, b := range ds[a].Peers {
+				ia, ib := peerIdx(ds[a], b), peerIdx(ds[b], a)
+				if ib < 0 {
+					t.Fatalf("ranks=%d: %d peers with %d but not vice versa", ranks, a, b)
+				}
+				if !equalInts(ds[a].cellSend[ia], ds[b].cellRecv[ib]) {
+					t.Fatalf("ranks=%d: cell plan %d→%d asymmetric: send %v recv %v",
+						ranks, a, b, ds[a].cellSend[ia], ds[b].cellRecv[ib])
+				}
+				if !equalInts(ds[a].edgeSend[ia], ds[b].edgeRecv[ib]) {
+					t.Fatalf("ranks=%d: edge plan %d→%d asymmetric: send %v recv %v",
+						ranks, a, b, ds[a].edgeSend[ia], ds[b].edgeRecv[ib])
+				}
+			}
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestIcosDecompPartitionProperty is the property test over arbitrary rank
+// counts, including ones that do not divide the cell count: the contiguous
+// partition must cover every cell exactly once with imbalance ≤ 1.
+func TestIcosDecompPartitionProperty(t *testing.T) {
+	m := icosMesh(t, 2)
+	nc := m.NCells()
+	prop := func(seed uint16) bool {
+		ranks := 1 + int(seed)%nc
+		starts := make([]int, ranks+1)
+		for r := 0; r <= ranks; r++ {
+			starts[r] = r * nc / ranks
+		}
+		if starts[0] != 0 || starts[ranks] != nc {
+			return false
+		}
+		minSz, maxSz := nc, 0
+		for r := 0; r < ranks; r++ {
+			sz := starts[r+1] - starts[r]
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+			// Owner formula agrees with the range on the boundary cells.
+			for _, c := range []int{starts[r], starts[r+1] - 1} {
+				if c < starts[r] || c >= starts[r+1] {
+					continue
+				}
+				if o := (ranks*(c+1) - 1) / nc; o != r {
+					return false
+				}
+			}
+		}
+		ceil := (nc + ranks - 1) / ranks
+		return maxSz <= ceil && maxSz-minSz <= 1
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestIcosExchangeMatchesGlobal steps a halo exchange against the brute
+// force answer: cell and edge fields initialized to rank-dependent garbage
+// outside the owned region must come back bit-identical to the analytic
+// global field on every extended index.
+func TestIcosExchangeMatchesGlobal(t *testing.T) {
+	m := icosMesh(t, 2)
+	nc, ne := m.NCells(), m.NEdges()
+	const nlev = 3
+	cellVal := func(k, c int) float64 { return float64(k*10000+c) + 0.25 }
+	edgeVal := func(k, e int) float64 { return -float64(k*10000+e) - 0.75 }
+	for _, ranks := range []int{2, 3, 4} {
+		par.Run(ranks, func(c *par.Comm) {
+			d, err := NewIcosDecomp(m, c)
+			if err != nil {
+				t.Errorf("NewIcosDecomp: %v", err)
+				return
+			}
+			fc := make([]float64, nlev*nc)
+			fe := make([]float64, nlev*ne)
+			for i := range fc {
+				fc[i] = math.NaN()
+			}
+			for i := range fe {
+				fe[i] = math.NaN()
+			}
+			for k := 0; k < nlev; k++ {
+				for cell := d.C0; cell < d.C1; cell++ {
+					fc[k*nc+cell] = cellVal(k, cell)
+				}
+				for _, e := range d.CompEdges {
+					fe[k*ne+e] = edgeVal(k, e)
+				}
+			}
+			d.ExchangeCells(fc, nlev)
+			d.ExchangeEdges(fe, nlev)
+			for k := 0; k < nlev; k++ {
+				for _, cell := range d.ExtCells {
+					if got, want := fc[k*nc+cell], cellVal(k, cell); got != want {
+						t.Errorf("ranks=%d rank %d: cell %d lev %d = %v, want %v", ranks, c.Rank(), cell, k, got, want)
+						return
+					}
+				}
+				for _, e := range d.ExtEdges {
+					if got, want := fe[k*ne+e], edgeVal(k, e); got != want {
+						t.Errorf("ranks=%d rank %d: edge %d lev %d = %v, want %v", ranks, c.Rank(), e, k, got, want)
+						return
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestIcosExchangeZeroAllocs pins the halo exchange hot path to zero
+// steady-state allocations at 2 ranks — the real multi-rank path through
+// par.SendF64/RecvF64, not the 1-rank self short-circuit. AllocsPerRun
+// measures global mallocs, so the peer rank's matching exchanges must be
+// allocation-free too; the peer runs exactly runs+1 of them (AllocsPerRun's
+// warm-up call plus runs measured calls).
+func TestIcosExchangeZeroAllocs(t *testing.T) {
+	m := icosMesh(t, 2)
+	nc, ne := m.NCells(), m.NEdges()
+	const nlev, runs = 4, 20
+	par.Run(2, func(c *par.Comm) {
+		d, err := NewIcosDecomp(m, c)
+		if err != nil {
+			t.Errorf("NewIcosDecomp: %v", err)
+			return
+		}
+		fc := make([]float64, nlev*nc)
+		fe := make([]float64, nlev*ne)
+		step := func() {
+			d.ExchangeCells(fc, nlev)
+			d.ExchangeEdges(fe, nlev)
+		}
+		// Warm both parity buffer sets.
+		step()
+		step()
+		c.Barrier()
+		if c.Rank() == 0 {
+			avg := testing.AllocsPerRun(runs, step)
+			if avg != 0 {
+				t.Errorf("halo exchange allocates %v per call in steady state, want 0", avg)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+		}
+		c.Barrier()
+	})
+}
+
+func TestIcosDecompTooManyRanks(t *testing.T) {
+	m := icosMesh(t, 0) // 12 cells
+	par.Run(1, func(c *par.Comm) {
+		if _, err := NewIcosDecomp(m, c); err != nil {
+			t.Errorf("1 rank on 12 cells: %v", err)
+		}
+	})
+	// A size larger than the cell count must be rejected, checked directly
+	// on the constructor's guard (runs at 13 goroutine ranks).
+	par.Run(13, func(c *par.Comm) {
+		if _, err := NewIcosDecomp(m, c); err == nil {
+			t.Errorf("13 ranks on 12 cells: want error")
+		}
+	})
+}

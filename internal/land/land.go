@@ -101,6 +101,30 @@ func (m *Model) Adopt(mesh *grid.IcosMesh, cells []int) {
 	}
 }
 
+// Slots returns the local slot indices (ascending) of the cells satisfying
+// pred — how a decomposed driver partitions the land columns with the
+// atmosphere's ownership map: it steps the slots of its extended patch and
+// audits the slots of its owned range.
+func (m *Model) Slots(pred func(cell int) bool) []int {
+	var out []int
+	for slot, c := range m.Cells {
+		if pred(c) {
+			out = append(out, slot)
+		}
+	}
+	return out
+}
+
+// TotalWaterAt returns the bucket water summed over the given slots, the
+// partial sum a decomposed budget audit contributes before its allreduce.
+func (m *Model) TotalWaterAt(slots []int) float64 {
+	var s float64
+	for _, slot := range slots {
+		s += m.Bucket[slot]
+	}
+	return s
+}
+
 // Forcing is the per-cell atmospheric input for one land step.
 type Forcing struct {
 	GSW    float64 // downward shortwave, W/m²

@@ -179,3 +179,64 @@ func TestDiagnostics(t *testing.T) {
 		t.Error("no initial soil water")
 	}
 }
+
+// Slots partitions the land columns under any cell-ownership predicate: the
+// per-owner slot lists are disjoint, ascending, and together cover every
+// slot exactly once — including cells adopted after construction, whose
+// slots are appended out of cell order.
+func TestSlotsPartition(t *testing.T) {
+	m, mesh := newLand(t)
+	// Adopt a few non-land cells so the slot list is not cell-sorted.
+	var extra []int
+	for c := 0; c < mesh.NCells() && len(extra) < 5; c++ {
+		if !grid.IsLand(mesh.LonCell[c], mesh.LatCell[c]) {
+			extra = append(extra, c)
+		}
+	}
+	m.Adopt(mesh, extra)
+
+	const owners = 3
+	owner := func(cell int) int { return cell % owners }
+	seen := make([]int, m.NLand())
+	for o := 0; o < owners; o++ {
+		slots := m.Slots(func(cell int) bool { return owner(cell) == o })
+		prev := -1
+		for _, s := range slots {
+			if s <= prev {
+				t.Fatalf("owner %d: slots not strictly ascending at %d", o, s)
+			}
+			prev = s
+			if got := owner(m.Cells[s]); got != o {
+				t.Fatalf("slot %d owned by %d, listed under %d", s, got, o)
+			}
+			seen[s]++
+		}
+	}
+	for s, n := range seen {
+		if n != 1 {
+			t.Fatalf("slot %d covered %d times, want exactly once", s, n)
+		}
+	}
+}
+
+// TotalWaterAt over an ownership partition recovers TotalWater: exactly for
+// the trivial partition, and to summation-order round-off when the partials
+// are reduced across owners — the decomposed budget audit's contract.
+func TestTotalWaterAtPartition(t *testing.T) {
+	m, _ := newLand(t)
+	// Perturb the buckets so the test is not summing identical values.
+	for s := range m.Bucket {
+		m.Bucket[s] = 0.01 + 0.001*float64(s%17)
+	}
+	all := m.Slots(func(int) bool { return true })
+	if got, want := m.TotalWaterAt(all), m.TotalWater(); got != want {
+		t.Fatalf("TotalWaterAt(all) = %v, TotalWater = %v", got, want)
+	}
+	var sum float64
+	for o := 0; o < 4; o++ {
+		sum += m.TotalWaterAt(m.Slots(func(cell int) bool { return cell%4 == o }))
+	}
+	if want := m.TotalWater(); math.Abs(sum-want) > 1e-12*math.Abs(want) {
+		t.Fatalf("partitioned sum %v, total %v", sum, want)
+	}
+}

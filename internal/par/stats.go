@@ -49,6 +49,19 @@ func (c *Comm) countSend(payload any) {
 	}
 }
 
+// countP2PF64 records one SendF64/RecvF64 message of n float64 values with
+// the exact byte accounting of the generic path but no payloadBytes call
+// (whose `any` parameter would re-introduce the boxing the typed path
+// removes).
+func (c *Comm) countP2PF64(msgs, bytes *atomic.Int64, msgName, byteName string, n int) {
+	msgs.Add(1)
+	bytes.Add(int64(8 * n))
+	if c.obs != nil {
+		c.obs.AddCount(msgName, 1)
+		c.obs.AddCount(byteName, int64(8*n))
+	}
+}
+
 // countRecv records one delivered point-to-point message.
 func (c *Comm) countRecv(payload any) {
 	n := payloadBytes(payload)

@@ -1,10 +1,12 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
-# tests, a dedicated race stress lap over the concurrent component
-# schedule, a short fuzz of the restart-file decoder, the coupled
-# conservation-budget gate (conservative remap must close to 1e-10
-# relative), and the two benchmarks writing BENCH_1.json and BENCH_2.json
-# at the repo root.
+# tests, dedicated race stress laps over the concurrent component
+# schedule and the decomposed atmosphere, a short fuzz of the restart-file
+# decoder, the coupled conservation-budget gate on four decomposed ranks
+# (conservative remap must close to 1e-10 relative), a two-rank
+# checkpoint/rollback lap through core.RunResilient with an injected
+# mid-run NaN, and the three benchmarks writing BENCH_1.json,
+# BENCH_2.json, and BENCH_3.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -18,10 +20,17 @@ echo "== go test -race"
 go test -race ./...
 echo "== conc schedule race stress (2 ranks, p2p rearrange)"
 go test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
+echo "== decomposed atmosphere race lap (4 ranks, both schedules, halo p2p)"
+go test -race ./internal/core -run 'TestDecompRankCountInvariance|TestDecompRestartRoundTrip' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
-echo "== conservation budget gate (cons remap, 2 ranks, conc schedule, 1e-10)"
-go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -audit-gate 1e-10
+echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule, 1e-10)"
+go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
+echo "== resilient rollback lap (2 decomposed ranks, checkpoint + injected NaN)"
+RESTART_DIR="$(mktemp -d)"
+go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
+  -checkpoint-every 5 -restart-dir "$RESTART_DIR" -faults 'nan@esm.step:21'
+rm -rf "$RESTART_DIR"
 echo "== bench1"
 go run ./cmd/bench1 -out BENCH_1.json
 echo "== bench2 smoke (schema self-validation)"
@@ -29,3 +38,8 @@ go run ./cmd/bench2 -steps 6 -out /tmp/bench2_smoke.json
 rm -f /tmp/bench2_smoke.json
 echo "== bench2"
 go run ./cmd/bench2 -out BENCH_2.json
+echo "== bench3 smoke (schema self-validation)"
+go run ./cmd/bench3 -steps 8 -out /tmp/bench3_smoke.json
+rm -f /tmp/bench3_smoke.json
+echo "== bench3"
+go run ./cmd/bench3 -out BENCH_3.json
