@@ -1,14 +1,14 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
 # race-enabled tests (including the concurrent-schedule and decomposed-
-# atmosphere stress laps), the restart-decoder fuzz smoke, the
+# atmosphere/ocean stress laps), the restart-decoder fuzz smoke, the
 # conservation-budget gate on four decomposed ranks, the two-rank
-# resilient rollback lap, and the three benchmarks (BENCH_1.json,
-# BENCH_2.json, BENCH_3.json).
+# resilient rollback lap, and the four benchmarks (BENCH_1.json through
+# BENCH_4.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc race-decomp fuzz budget resilient check bench bench2 bench3 clean
+.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp fuzz budget resilient check bench bench2 bench3 bench4 clean
 
 all: check
 
@@ -30,6 +30,10 @@ race-conc:
 race-decomp:
 	$(GO) test -race ./internal/core -run 'TestDecompRankCountInvariance|TestDecompRestartRoundTrip' -count 1
 
+race-ocn-decomp:
+	$(GO) test -race ./internal/grid -run 'TestTripolar' -count 1
+	$(GO) test -race ./internal/ocean ./internal/seaice -run 'TestSerialParallelEquivalence|TestParallelSerialIceAgreement|TestCompactionComposesWithBlockPartition' -count 1
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 
@@ -50,7 +54,10 @@ bench2:
 bench3:
 	$(GO) run ./cmd/bench3 -out BENCH_3.json
 
-check: vet build race race-conc race-decomp fuzz budget resilient bench bench2 bench3
+bench4:
+	$(GO) run ./cmd/bench4 -out BENCH_4.json
+
+check: vet build race race-conc race-decomp race-ocn-decomp fuzz budget resilient bench bench2 bench3 bench4
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json

@@ -26,8 +26,7 @@ func BenchmarkAblationBarotropicSubsteps(b *testing.B) {
 		b.Run(fmt.Sprintf("nsub-%d", nsub), func(b *testing.B) {
 			g, _ := grid.NewTripolar(96, 48, 10)
 			par.Run(1, func(c *par.Comm) {
-				ct := par.NewCart(c, 1, 1, true, false)
-				blk, _ := grid.NewBlock(g, ct, 1)
+				blk, _ := grid.NewTripolarReplicated(g, c, 1)
 				cfg := ocean.DefaultConfig()
 				cfg.NBarotropicSub = nsub
 				o, err := ocean.New(g, blk, cfg, pp.Serial{})
@@ -124,8 +123,7 @@ func BenchmarkAblationRiMixing(b *testing.B) {
 		b.Run("rimixing-"+name, func(b *testing.B) {
 			g, _ := grid.NewTripolar(96, 48, 10)
 			par.Run(1, func(c *par.Comm) {
-				ct := par.NewCart(c, 1, 1, true, false)
-				blk, _ := grid.NewBlock(g, ct, 1)
+				blk, _ := grid.NewTripolarReplicated(g, c, 1)
 				cfg := ocean.DefaultConfig()
 				cfg.RiMixing = enabled
 				o, err := ocean.New(g, blk, cfg, pp.Serial{})
@@ -149,8 +147,7 @@ func BenchmarkAblationHaloWidth(b *testing.B) {
 	for _, layout := range [][2]int{{1, 1}, {2, 2}, {4, 2}} {
 		b.Run(fmt.Sprintf("ranks-%dx%d", layout[0], layout[1]), func(b *testing.B) {
 			par.Run(layout[0]*layout[1], func(c *par.Comm) {
-				ct := par.NewCart(c, layout[0], layout[1], true, false)
-				blk, err := grid.NewBlock(g, ct, 1)
+				blk, err := grid.NewTripolarDecompLayout(g, c, layout[0], layout[1], 1)
 				if err != nil {
 					b.Fatal(err)
 				}

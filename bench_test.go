@@ -293,8 +293,7 @@ func BenchmarkOceanCompaction(b *testing.B) {
 		b.Fatal(err)
 	}
 	par.Run(1, func(c *par.Comm) {
-		ct := par.NewCart(c, 1, 1, true, false)
-		blk, _ := grid.NewBlock(g, ct, 1)
+		blk, _ := grid.NewTripolarReplicated(g, c, 1)
 		o, err := ocean.New(g, blk, ocean.DefaultConfig(), pp.Serial{})
 		if err != nil {
 			b.Fatal(err)
@@ -327,8 +326,7 @@ func BenchmarkMixedPrecision(b *testing.B) {
 	run := func(b *testing.B, pol precision.Policy) {
 		g, _ := grid.NewTripolar(96, 48, 10)
 		par.Run(1, func(c *par.Comm) {
-			ct := par.NewCart(c, 1, 1, true, false)
-			blk, _ := grid.NewBlock(g, ct, 1)
+			blk, _ := grid.NewTripolarReplicated(g, c, 1)
 			cfg := ocean.DefaultConfig()
 			cfg.Policy = pol
 			o, err := ocean.New(g, blk, cfg, pp.Serial{})

@@ -25,7 +25,7 @@ func main() {
 	log.SetPrefix("ap3esm: ")
 	label := flag.String("config", "25v10", "coupled configuration label (1v1, 3v2, 6v3, 10v5, 25v10)")
 	days := flag.Float64("days", 1, "simulated days to run")
-	ranks := flag.Int("ranks", 1, "process count for the ocean/ice domain")
+	ranks := flag.Int("ranks", 1, "process count (both the atmosphere/land and ocean/ice domains decompose over it)")
 	backend := flag.String("backend", "Serial", "execution space: Serial, Host, CPE")
 	mixed := flag.Bool("mixed", false, "run the dynamical cores in FP64/FP32 group-scaled mixed precision")
 	obsSpec := flag.String("obs", "off", "observability sink: off, mem, jsonl:PATH, prom:ADDR")
@@ -35,7 +35,8 @@ func main() {
 	ckDir := flag.String("restart-dir", "restart", "restart-set directory for -checkpoint-every")
 	maxRetries := flag.Int("max-retries", 3, "consecutive failed recoveries before giving up")
 	schedName := flag.String("schedule", "seq", "component schedule: seq (sequential groups) or conc (overlapped ocean/atmosphere)")
-	atmDecomp := flag.Bool("atm-decomp", true, "domain-decompose the atmosphere and land across ranks (false = historical replicated dataflow)")
+	atmDecomp := flag.Bool("atm-decomp", true, "domain-decompose the atmosphere and land across ranks (false = replicated baseline dataflow)")
+	ocnDecomp := flag.Bool("ocn-decomp", true, "domain-decompose the ocean and sea ice across ranks (false = replicated baseline dataflow)")
 	remapName := flag.String("remap", "nn", "air-sea flux remap: nn (nearest-neighbour) or cons (first-order conservative)")
 	audit := flag.Bool("audit", false, "record the per-coupling-interval conservation budget and print the ledger report")
 	auditGate := flag.Float64("audit-gate", 0, "fail if the max relative heat/freshwater residual exceeds this (0 = report only; implies -audit)")
@@ -107,7 +108,8 @@ func main() {
 				core.WithSchedule(sched),
 				core.WithRemap(remap),
 				core.WithAudit(*audit),
-				core.WithAtmDecomp(*atmDecomp))
+				core.WithAtmDecomp(*atmDecomp),
+				core.WithOcnDecomp(*ocnDecomp))
 		}
 		e, err := mk()
 		if err != nil {

@@ -207,8 +207,7 @@ func measureOceanAllocs() float64 {
 		if err != nil {
 			log.Fatal(err)
 		}
-		ct := par.NewCart(c, 1, 1, true, false)
-		b, err := grid.NewBlock(g, ct, 1)
+		b, err := grid.NewTripolarReplicated(g, c, 1)
 		if err != nil {
 			log.Fatal(err)
 		}

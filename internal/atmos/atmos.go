@@ -18,6 +18,7 @@ import (
 	"math"
 
 	"repro/internal/grid"
+	"repro/internal/par"
 	"repro/internal/pp"
 	"repro/internal/precision"
 )
@@ -108,6 +109,18 @@ func (m *Model) SetDecomp(d *grid.IcosDecomp) { m.dec = d }
 
 // Decomp returns the active decomposition (nil when replicated).
 func (m *Model) Decomp() *grid.IcosDecomp { return m.dec }
+
+// Decompose partitions the mesh over the communicator and switches the
+// model to decomposed stepping, returning the partition behind the shared
+// grid.Decomp contract so callers never name the concrete icosahedral type.
+func (m *Model) Decompose(c *par.Comm) (grid.Decomp, error) {
+	d, err := grid.NewIcosDecomp(m.Mesh, c)
+	if err != nil {
+		return nil, err
+	}
+	m.dec = d
+	return d, nil
+}
 
 // The loop helpers below pick the iteration set for each sweep class. In the
 // replicated case they are exactly the original full-range ParallelFor, so

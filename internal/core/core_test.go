@@ -373,8 +373,7 @@ func TestTyphoonColdWakeMechanisms(t *testing.T) {
 			t.Fatal(err)
 		}
 		par.Run(1, func(c *par.Comm) {
-			ct := par.NewCart(c, 1, 1, true, false)
-			b, _ := grid.NewBlock(g, ct, 1)
+			b, _ := grid.NewTripolarReplicated(g, c, 1)
 			oc := cfg.OcnCfg
 			oc.RiMixing = mix
 			o, err := ocean.New(g, b, oc, pp.Serial{})

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/par"
 	"repro/internal/pp"
 )
@@ -38,15 +39,17 @@ func globalCoupledState(e *ESM) []float64 {
 		return buf
 	}
 	d := e.dec
-	for c := d.C0; c < d.C1; c++ {
-		buf[oPs+c] = m.Ps[c]
-		buf[oSST+c] = m.SST[c]
-		for k := 0; k < nl; k++ {
-			buf[oT+k*nc+c] = m.T[k*nc+c]
-			buf[oQv+k*nc+c] = m.Qv[k*nc+c]
+	for _, r := range d.OwnedRanges() {
+		for c := r[0]; c < r[0]+r[1]; c++ {
+			buf[oPs+c] = m.Ps[c]
+			buf[oSST+c] = m.SST[c]
+			for k := 0; k < nl; k++ {
+				buf[oT+k*nc+c] = m.T[k*nc+c]
+				buf[oQv+k*nc+c] = m.Qv[k*nc+c]
+			}
 		}
 	}
-	for _, eg := range d.OwnEdges {
+	for _, eg := range d.(grid.EdgeDecomp).OwnedEdgeList() {
 		for k := 0; k < nl; k++ {
 			buf[oU+k*ne+eg] = m.U[k*ne+eg]
 		}
@@ -100,17 +103,22 @@ func runDecomp(t *testing.T, ranks int, sched Schedule, decomp bool, steps int) 
 	return state, eta, maxHeat, maxFW
 }
 
-// The tentpole acceptance test: the decomposed atmosphere + land and the
-// distributed conservative coupling path reproduce the 1-rank replicated
-// run bit-for-bit at 2 and 4 ranks, under both schedules, while the
-// conservation audit stays gate-clean at every rank count.
+// The tentpole acceptance test: the decomposed atmosphere + land, the 2D
+// block-decomposed ocean + ice, and the distributed conservative coupling
+// path reproduce the 1-rank replicated run bit-for-bit at 2, 4, 8, and 16
+// ranks, under both schedules, while the conservation audit stays
+// gate-clean at every rank count.
 func TestDecompRankCountInvariance(t *testing.T) {
 	const steps = 25 // five audited ocean couplings
 	refState, refEta, refHeat, refFW := runDecomp(t, 1, ScheduleSeq, true, steps)
 	if refHeat > 1e-10 || refFW > 1e-10 {
 		t.Fatalf("1-rank residuals %.3e/%.3e exceed the 1e-10 gate", refHeat, refFW)
 	}
-	for _, ranks := range []int{2, 4} {
+	counts := []int{2, 4, 8, 16}
+	if testing.Short() {
+		counts = []int{2, 8}
+	}
+	for _, ranks := range counts {
 		for _, sched := range []Schedule{ScheduleSeq, ScheduleConc} {
 			t.Run(fmt.Sprintf("ranks=%d/%v", ranks, sched), func(t *testing.T) {
 				state, eta, maxHeat, maxFW := runDecomp(t, ranks, sched, true, steps)

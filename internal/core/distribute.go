@@ -60,15 +60,11 @@ type distState struct {
 	consDst    *coupler.AttrVect
 }
 
-// ocnColOwner returns the rank owning global ocean column gi under the
-// uniform block decomposition (factorize guarantees px | NX and py | NY).
-func (e *ESM) ocnColOwner(gi int) int {
-	ct := e.Ocn.B.Cart
-	nx := e.Ocn.G.NX
-	bi, bj := nx/ct.NX, e.Ocn.G.NY/ct.NY
-	i, j := gi%nx, gi/nx
-	return ct.RankAt(i/bi, j/bj)
-}
+// ocnColOwner returns the rank owning global ocean column gi under the 2D
+// tripolar block decomposition, or -1 for columns of land-eliminated blocks
+// — those columns appear in no GSMap and are never routed (their field
+// values are identically zero).
+func (e *ESM) ocnColOwner(gi int) int { return e.Ocn.B.Owner(gi) }
 
 // initDistribute builds the rearrange plans once at assembly. Both GSMaps of
 // each router are derived offline from rank-independent data, so every rank
@@ -79,7 +75,12 @@ func (e *ESM) initDistribute() error {
 	n := c.Size()
 	nCol := e.Ocn.G.NX * e.Ocn.G.NY
 
-	atmOwnerOfCol := func(gi int) int { return d.Owner(e.Rg.OcnToAtm[gi]) }
+	atmOwnerOfCol := func(gi int) int {
+		if e.ocnColOwner(gi) < 0 {
+			return -1 // land-eliminated destination column: filter at the source too
+		}
+		return d.Owner(e.Rg.OcnToAtm[gi])
+	}
 	srcMap, err := coupler.OfflineGSMap(atmOwnerOfCol, nCol, n)
 	if err != nil {
 		return fmt.Errorf("core: nn source map: %w", err)
@@ -108,7 +109,6 @@ func (e *ESM) initDistribute() error {
 
 	if e.remap == RemapCons {
 		np := len(e.Rg.ConsCol)
-		atmOwnerOfEntry := func(p int) int { return d.Owner(int(e.Rg.ConsCol[p])) }
 		// rowOf maps a CSR entry to its wet column; ConsPtr is monotone over
 		// gi, so a single forward walk assigns every entry.
 		rowOf := make([]int32, np)
@@ -116,6 +116,12 @@ func (e *ESM) initDistribute() error {
 			for p := e.Rg.ConsPtr[gi]; p < e.Rg.ConsPtr[gi+1]; p++ {
 				rowOf[p] = int32(gi)
 			}
+		}
+		atmOwnerOfEntry := func(p int) int {
+			if e.ocnColOwner(int(rowOf[p])) < 0 {
+				return -1 // entry of a land-eliminated row: never routed
+			}
+			return d.Owner(int(e.Rg.ConsCol[p]))
 		}
 		csrc, err := coupler.OfflineGSMap(atmOwnerOfEntry, np, n)
 		if err != nil {

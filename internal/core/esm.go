@@ -19,14 +19,17 @@ import (
 )
 
 // ESM is the assembled coupled model. It runs SPMD over a communicator:
-// the ocean and sea ice are block-distributed across all ranks (the
-// paper's second task domain), while the atmosphere and land model are
-// computed redundantly on every rank (standing in for the first task
-// domain; redundant computation at miniature scale gives bit-identical
-// coupling without a second process group). The component exchange
-// contract, field names, coupling clock, and per-component alarms follow
-// CPL7 (§5.1.1): 180 atmosphere, 36 ocean, and 180 sea-ice couplings per
-// simulated day.
+// by default both task domains are domain-decomposed — the ocean and sea
+// ice over a 2D tripolar block partition with land-block elimination
+// (the paper's second task domain), the atmosphere and land over an
+// icosahedral cell partition (the first). Either side can instead run
+// replicated (WithAtmDecomp(false) / WithOcnDecomp(false)): every rank
+// computes it redundantly at miniature scale, which gives bit-identical
+// coupling without the rearrangers and serves as the scaling baseline.
+// Both decompositions are driven through the shared grid.Decomp contract.
+// The component exchange contract, field names, coupling clock, and
+// per-component alarms follow CPL7 (§5.1.1): 180 atmosphere, 36 ocean,
+// and 180 sea-ice couplings per simulated day.
 type ESM struct {
 	Cfg  Config
 	Comm *par.Comm
@@ -68,11 +71,11 @@ type ESM struct {
 	af     *atmFluxes
 
 	// Atmosphere + land domain decomposition (nil / empty when replicated):
-	// the icosahedral partition with its halo-exchange plans, the distributed
-	// coupling rearrange state, the land slots this rank steps (extended
-	// patch) and audits (owned range), and the persistent 10 m wind buffers
-	// the surface loops fill in place.
-	dec       *grid.IcosDecomp
+	// the icosahedral partition behind the shared Decomp contract, the
+	// distributed coupling rearrange state, the land slots this rank steps
+	// (extended patch) and audits (owned range), and the persistent 10 m
+	// wind buffers the surface loops fill in place.
+	dec       grid.Decomp
 	dst       *distState
 	stepSlots []int
 	ownSlots  []int
@@ -121,12 +124,26 @@ func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: ocean grid: %w", err)
 	}
-	px, py := factorize(c.Size(), cfg.OcnNX, cfg.OcnNY)
-	ct := par.NewCart(c, px, py, true, false)
-	blk, err := grid.NewBlock(g, ct, 1)
+	// Ocean + sea-ice decomposition: a 2D tripolar block partition with
+	// land-block elimination by default, or the fully-replicated baseline
+	// (every rank holds the whole grid) under WithOcnDecomp(false). The
+	// distributed atmosphere's coupling routers address ocean columns by
+	// owner, which a replicated ocean does not define — that combination
+	// is rejected rather than silently misrouted.
+	atmDistributed := opt.atmDecomp && c.Size() > 1 && c.Size() <= atm.Mesh.NCells()
+	if atmDistributed && !opt.ocnDecomp {
+		return nil, fmt.Errorf("core: the decomposed atmosphere requires the decomposed ocean at %d ranks (enable -ocn-decomp or disable -atm-decomp)", c.Size())
+	}
+	var blk *grid.TripolarDecomp
+	if opt.ocnDecomp && c.Size() > 1 {
+		blk, err = grid.NewTripolarDecomp(g, c, 1)
+	} else {
+		blk, err = grid.NewTripolarReplicated(g, c, 1)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("core: ocean decomposition: %w", err)
 	}
+	blk.SetObserver(ob)
 	ocnCfg := cfg.OcnCfg
 	ocnCfg.Policy = cfg.Policy
 	ocn, err := ocean.New(g, blk, ocnCfg, sp)
@@ -201,13 +218,12 @@ func assemble(cfg Config, c *par.Comm, opt options) (*ESM, error) {
 	// WithAtmDecomp(false) — leaves dec nil and every legacy path intact.
 	e.u10 = make([]float64, atm.Mesh.NCells())
 	e.v10 = make([]float64, atm.Mesh.NCells())
-	if opt.atmDecomp && c.Size() > 1 && c.Size() <= atm.Mesh.NCells() {
-		d, err := grid.NewIcosDecomp(atm.Mesh, c)
+	if atmDistributed {
+		d, err := atm.Decompose(c)
 		if err != nil {
 			return nil, fmt.Errorf("core: atmosphere decomposition: %w", err)
 		}
 		d.SetObserver(ob)
-		atm.SetDecomp(d)
 		e.dec = d
 		e.stepSlots = lnd.Slots(d.InExt)
 		e.ownSlots = lnd.Slots(func(cell int) bool { return d.Owner(cell) == c.Rank() })
@@ -523,44 +539,52 @@ func (e *ESM) importNearest() {
 // conservative rows, damping coastal fluxes instead of breaking the
 // conservation identity.
 func (e *ESM) computeAtmFluxes() {
-	a := e.Atm
-	nc := a.Mesh.NCells()
-	kb := a.NLev - 1
-	a.Wind10mInto(e.u10, e.v10)
-	u10, v10 := e.u10, e.v10
-	f := e.af
-	c0, c1 := 0, nc
+	nc := e.Atm.Mesh.NCells()
+	e.Atm.Wind10mInto(e.u10, e.v10)
+	ranges := [][2]int{{0, nc}}
 	if e.dec != nil {
 		// Owned cells only: the flux parts feed the audit's owned-range
 		// partial sums and the conservative packer, both owner-indexed.
-		c0, c1 = e.dec.C0, e.dec.C1
+		ranges = e.dec.OwnedRanges()
 	}
-	for c := c0; c < c1; c++ {
-		if a.IsLand[c] || e.Rg.AtmOverlapArea[c] == 0 {
-			f.sw[c], f.lw[c], f.sens[c], f.lat[c], f.qnet[c] = 0, 0, 0, 0, 0
-			f.emp[c], f.taux[c], f.tauy[c] = 0, 0, 0
-			continue
+	for _, rng := range ranges {
+		for c := rng[0]; c < rng[0]+rng[1]; c++ {
+			e.atmFluxCell(c)
 		}
-		open := 1 - a.IceFrac[c]
-		sstK := a.SST[c]
-		wind := math.Hypot(u10[c], v10[c])
-		tair := a.T[kb*nc+c]
-		qair := a.Qv[kb*nc+c]
+	}
+}
 
-		shf := rhoAirSfc * atmos.Cpd * bulkCh * wind * (sstK - tair)
-		evap := rhoAirSfc * bulkCe * wind * (qsatSea(sstK) - qair)
-		if evap < 0 {
-			evap = 0
-		}
-		f.sw[c] = (1 - oceanAlbedo) * a.GSW[c] * open
-		f.lw[c] = oceanEmiss * (a.GLW[c] - sigmaSB*sstK*sstK*sstK*sstK) * open
-		f.sens[c] = -shf * open
-		f.lat[c] = -atmos.LatVap * evap * open
-		f.qnet[c] = f.sw[c] + f.lw[c] + f.sens[c] + f.lat[c]
-		f.emp[c] = evap - a.Precip[c]
-		f.taux[c] = rhoAirSfc * bulkCd * wind * u10[c] * open
-		f.tauy[c] = rhoAirSfc * bulkCd * wind * v10[c] * open
+// atmFluxCell fills one atmosphere cell's flux parts (see computeAtmFluxes).
+func (e *ESM) atmFluxCell(c int) {
+	a := e.Atm
+	nc := a.Mesh.NCells()
+	kb := a.NLev - 1
+	u10, v10 := e.u10, e.v10
+	f := e.af
+	if a.IsLand[c] || e.Rg.AtmOverlapArea[c] == 0 {
+		f.sw[c], f.lw[c], f.sens[c], f.lat[c], f.qnet[c] = 0, 0, 0, 0, 0
+		f.emp[c], f.taux[c], f.tauy[c] = 0, 0, 0
+		return
 	}
+	open := 1 - a.IceFrac[c]
+	sstK := a.SST[c]
+	wind := math.Hypot(u10[c], v10[c])
+	tair := a.T[kb*nc+c]
+	qair := a.Qv[kb*nc+c]
+
+	shf := rhoAirSfc * atmos.Cpd * bulkCh * wind * (sstK - tair)
+	evap := rhoAirSfc * bulkCe * wind * (qsatSea(sstK) - qair)
+	if evap < 0 {
+		evap = 0
+	}
+	f.sw[c] = (1 - oceanAlbedo) * a.GSW[c] * open
+	f.lw[c] = oceanEmiss * (a.GLW[c] - sigmaSB*sstK*sstK*sstK*sstK) * open
+	f.sens[c] = -shf * open
+	f.lat[c] = -atmos.LatVap * evap * open
+	f.qnet[c] = f.sw[c] + f.lw[c] + f.sens[c] + f.lat[c]
+	f.emp[c] = evap - a.Precip[c]
+	f.taux[c] = rhoAirSfc * bulkCd * wind * u10[c] * open
+	f.tauy[c] = rhoAirSfc * bulkCd * wind * v10[c] * open
 }
 
 // importConservative delivers the per-atmosphere-cell flux parts to each
@@ -637,13 +661,22 @@ func (e *ESM) auditRecord() {
 			iv.FWAtmCpl += ar * f.emp[c]
 			iv.FWGross += ar * math.Abs(f.emp[c])
 		}
-		sums := e.Comm.AllreduceSlice([]float64{
-			heatIn, fwIn, iceHeat,
-			o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
-		}, par.OpSum)
-		iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[0], sums[1], sums[2]
-		iv.OcnHeat, iv.OcnSalt = sums[3], sums[4]
-		iv.IceFW = seaice.RhoIce * sums[5]
+		if o.B.Replicated() {
+			// Fully replicated: every term above and below is already the
+			// global integral on every rank — a reduction would count the
+			// domain once per rank.
+			iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = heatIn, fwIn, iceHeat
+			iv.OcnHeat, iv.OcnSalt = o.HeatContentLocal(), o.SaltContentLocal()
+			iv.IceFW = seaice.RhoIce * e.Ice.LocalVolume()
+		} else {
+			sums := e.Comm.AllreduceSlice([]float64{
+				heatIn, fwIn, iceHeat,
+				o.HeatContentLocal(), o.SaltContentLocal(), e.Ice.LocalVolume(),
+			}, par.OpSum)
+			iv.HeatCplOcn, iv.FWCplOcn, iv.HeatIceOcn = sums[0], sums[1], sums[2]
+			iv.OcnHeat, iv.OcnSalt = sums[3], sums[4]
+			iv.IceFW = seaice.RhoIce * sums[5]
+		}
 		for slot, c := range e.Lnd.Cells {
 			iv.LndWater += e.Lnd.Bucket[slot] * e.Atm.Mesh.AreaCell[c] *
 				grid.EarthRadius * grid.EarthRadius * rhoWater
@@ -657,19 +690,21 @@ func (e *ESM) auditRecord() {
 	// replicated integrals up to summation order), batched with the
 	// ocean-side terms into one 16-term reduction.
 	var aSW, aLW, aSens, aLat, aCpl, aGross, aFW, aFWGross float64
-	for c := e.dec.C0; c < e.dec.C1; c++ {
-		ar := e.Rg.AtmOverlapArea[c]
-		if ar == 0 {
-			continue
+	for _, rng := range e.dec.OwnedRanges() {
+		for c := rng[0]; c < rng[0]+rng[1]; c++ {
+			ar := e.Rg.AtmOverlapArea[c]
+			if ar == 0 {
+				continue
+			}
+			aSW += ar * f.sw[c]
+			aLW += ar * f.lw[c]
+			aSens += ar * f.sens[c]
+			aLat += ar * f.lat[c]
+			aCpl += ar * f.qnet[c]
+			aGross += ar * math.Abs(f.qnet[c])
+			aFW += ar * f.emp[c]
+			aFWGross += ar * math.Abs(f.emp[c])
 		}
-		aSW += ar * f.sw[c]
-		aLW += ar * f.lw[c]
-		aSens += ar * f.sens[c]
-		aLat += ar * f.lat[c]
-		aCpl += ar * f.qnet[c]
-		aGross += ar * math.Abs(f.qnet[c])
-		aFW += ar * f.emp[c]
-		aFWGross += ar * math.Abs(f.emp[c])
 	}
 	var lndWater float64
 	for _, slot := range e.ownSlots {
@@ -723,7 +758,8 @@ func (e *ESM) ocnIdx2(li, lj int) int {
 
 // refreshOceanSurface gathers SST and ice fraction into global arrays and
 // broadcasts them so every rank's (redundant) atmosphere sees the same
-// surface.
+// surface. In the replicated-ocean mode every rank assembles the globals
+// locally and no traffic is needed.
 func (e *ESM) refreshOceanSurface() {
 	b := e.Ocn.B
 	n2 := b.LNI() * b.LNJ()
@@ -733,6 +769,10 @@ func (e *ESM) refreshOceanSurface() {
 	copy(iceLoc, e.Ice.Conc)
 	sstG := b.GatherGlobal(sstLoc)
 	iceG := b.GatherGlobal(iceLoc)
+	if b.Replicated() {
+		e.sstGlobal, e.iceGlobal = sstG, iceG
+		return
+	}
 	e.sstGlobal = par.Bcast(e.Comm, 0, sstG)
 	e.iceGlobal = par.Bcast(e.Comm, 0, iceG)
 }

@@ -17,6 +17,7 @@ type options struct {
 	remap       RemapMode
 	audit       bool
 	atmDecomp   bool
+	ocnDecomp   bool
 }
 
 // Option configures model assembly.
@@ -80,6 +81,19 @@ func WithAtmDecomp(on bool) Option {
 	return func(opt *options) { opt.atmDecomp = on }
 }
 
+// WithOcnDecomp selects whether the ocean + sea ice are domain-decomposed
+// across the communicator (the default) or replicated on every rank (the
+// no-decomposition scaling baseline, mirroring WithAtmDecomp(false)).
+// Decomposition partitions the tripolar grid into uniform 2D blocks —
+// eliminating all-land blocks from the layout — and keeps a one-ring halo
+// current through batched point-to-point exchanges; the prognostic state is
+// bit-for-bit identical to the replicated dataflow at any rank count. The
+// replicated ocean cannot be combined with the decomposed atmosphere at
+// multi-rank (the coupling routers address ocean columns by owner).
+func WithOcnDecomp(on bool) Option {
+	return func(opt *options) { opt.ocnDecomp = on }
+}
+
 // defaultOptions mirrors the quickstart setup: one simulated day from the
 // repository's reference start date, Serial space, in-memory observer.
 func defaultOptions() options {
@@ -89,6 +103,7 @@ func defaultOptions() options {
 		stop:      start.Add(24 * time.Hour),
 		sp:        pp.Serial{},
 		atmDecomp: true,
+		ocnDecomp: true,
 	}
 }
 

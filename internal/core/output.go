@@ -57,8 +57,10 @@ func (e *ESM) WriteSnapshot(path string) error {
 			}
 			return out
 		}
-		for c := e.dec.C0; c < e.dec.C1; c++ {
-			fill(c, out)
+		for _, r := range e.dec.OwnedRanges() {
+			for c := r[0]; c < r[0]+r[1]; c++ {
+				fill(c, out)
+			}
 		}
 		return e.Comm.AllreduceSlice(out, par.OpSum)
 	}

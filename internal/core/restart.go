@@ -6,6 +6,7 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/grid"
 	"repro/internal/par"
 	"repro/internal/pario"
 )
@@ -109,6 +110,12 @@ func (e *ESM) restartFields() []pario.Field {
 	var fields []pario.Field
 
 	// --- Distributed ocean and ice fields, one chunk per local row ---
+	// Replicated, rank 0's copy spans the whole grid and writes alone (the
+	// other ranks hold identical state that would double-write the same
+	// elements). Decomposed, every rank writes its owned rows, and rank 0
+	// additionally writes zero-filled rows for the land-eliminated blocks no
+	// rank owns — ocean and ice fields are identically zero over land, and
+	// pario.ReadGlobal requires every element covered exactly once.
 	o := e.Ocn
 	b := o.B
 	g := o.G
@@ -123,20 +130,13 @@ func (e *ESM) restartFields() []pario.Field {
 		}
 		return out
 	}
-	for _, f3 := range []struct {
+	ocnF3 := []struct {
 		name string
 		data []float64
 	}{
 		{"ocn.u", o.U}, {"ocn.v", o.V}, {"ocn.t", o.T}, {"ocn.s", o.S},
-	} {
-		for k := 0; k < o.NL; k++ {
-			for lj := 0; lj < b.NJ; lj++ {
-				gStart := (k*g.NY+(b.J0+lj))*g.NX + b.I0
-				addRow(f3.name, o.NL*n2g, gStart, rowOf(f3.data, k, lj))
-			}
-		}
 	}
-	for _, f2 := range []struct {
+	ocnF2 := []struct {
 		name string
 		data []float64
 	}{
@@ -145,10 +145,38 @@ func (e *ESM) restartFields() []pario.Field {
 		{"ocn.qheat", o.QHeat}, {"ocn.fw", o.FWFlux},
 		{"ice.conc", e.Ice.Conc}, {"ice.thick", e.Ice.Thick},
 		{"ice.freezeheat", e.Ice.FreezeHeat},
-	} {
-		for lj := 0; lj < b.NJ; lj++ {
-			gStart := (b.J0+lj)*g.NX + b.I0
-			addRow(f2.name, n2g, gStart, rowOf(f2.data, 0, lj))
+	}
+	if !b.Replicated() || e.Comm.Rank() == 0 {
+		for _, f3 := range ocnF3 {
+			for k := 0; k < o.NL; k++ {
+				for lj := 0; lj < b.NJ; lj++ {
+					gStart := (k*g.NY+(b.J0+lj))*g.NX + b.I0
+					addRow(f3.name, o.NL*n2g, gStart, rowOf(f3.data, k, lj))
+				}
+			}
+		}
+		for _, f2 := range ocnF2 {
+			for lj := 0; lj < b.NJ; lj++ {
+				gStart := (b.J0+lj)*g.NX + b.I0
+				addRow(f2.name, n2g, gStart, rowOf(f2.data, 0, lj))
+			}
+		}
+	}
+	if e.Comm.Rank() == 0 {
+		for _, db := range b.DryBlocks() {
+			zero := make([]float64, db.NI)
+			for _, f3 := range ocnF3 {
+				for k := 0; k < o.NL; k++ {
+					for lj := 0; lj < db.NJ; lj++ {
+						addRow(f3.name, o.NL*n2g, (k*g.NY+(db.J0+lj))*g.NX+db.I0, zero)
+					}
+				}
+			}
+			for _, f2 := range ocnF2 {
+				for lj := 0; lj < db.NJ; lj++ {
+					addRow(f2.name, n2g, (db.J0+lj)*g.NX+db.I0, zero)
+				}
+			}
 		}
 	}
 
@@ -190,11 +218,12 @@ func (e *ESM) restartFields() []pario.Field {
 		d := e.dec
 		nc := m.Mesh.NCells()
 		ne := m.Mesh.NEdges()
+		ranges := d.OwnedRanges()
 		chunk := func(name string, global, start int, data []float64) {
 			cp := append([]float64(nil), data...)
 			fields = append(fields, pario.Field{Name: name, Global: global, Start: start, Data: cp})
 		}
-		// Per-cell surface fields: one contiguous owned chunk.
+		// Per-cell surface fields: one chunk per owned range.
 		for _, fc := range []struct {
 			name string
 			data []float64
@@ -204,19 +233,29 @@ func (e *ESM) restartFields() []pario.Field {
 			{"atm.taux", m.TauX}, {"atm.tauy", m.TauY},
 			{"atm.shf", m.SHF}, {"atm.lhf", m.LHF},
 		} {
-			chunk(fc.name, nc, d.C0, fc.data[d.C0:d.C1])
+			for _, r := range ranges {
+				chunk(fc.name, nc, r[0], fc.data[r[0]:r[0]+r[1]])
+			}
 		}
-		// Per-level cell fields: one owned chunk per level.
+		// Per-level cell fields: one chunk per owned range per level.
 		for _, f3 := range []struct {
 			name string
 			data []float64
 		}{{"atm.t", m.T}, {"atm.qv", m.Qv}} {
 			for k := 0; k < m.NLev; k++ {
-				chunk(f3.name, m.NLev*nc, k*nc+d.C0, f3.data[k*nc+d.C0:k*nc+d.C1])
+				for _, r := range ranges {
+					chunk(f3.name, m.NLev*nc, k*nc+r[0], f3.data[k*nc+r[0]:k*nc+r[0]+r[1]])
+				}
 			}
 		}
-		// Edge fields: the runs of this rank's owned edges, per level.
-		edgeRuns := ownedLandRuns(d.OwnEdges)
+		// Edge fields: the runs of this rank's owned edges, per level. Any
+		// decomposition with edge state must expose its owned edge list for
+		// checkpointing.
+		ed, ok := d.(grid.EdgeDecomp)
+		if !ok {
+			panic("core: decomposed atmosphere restart requires an edge-aware decomposition")
+		}
+		edgeRuns := ownedLandRuns(ed.OwnedEdgeList())
 		edgeField := func(name string, data []float64) {
 			for k := 0; k < m.NLev; k++ {
 				for _, r := range edgeRuns {
@@ -229,7 +268,9 @@ func (e *ESM) restartFields() []pario.Field {
 		edge, dps := m.FluxAccumulators()
 		if edge != nil {
 			edgeField("atm.fluxedge", edge)
-			chunk("atm.fluxdps", nc, d.C0, dps[d.C0:d.C1])
+			for _, r := range ranges {
+				chunk("atm.fluxdps", nc, r[0], dps[r[0]:r[0]+r[1]])
+			}
 		}
 		// Land: the runs of this rank's owned slots.
 		for _, r := range ownedLandRuns(e.ownSlots) {

@@ -67,11 +67,11 @@ type sectionAdder interface {
 // identical to the sequential schedule.
 //
 // Concurrency discipline on the shared communicator: the ocean goroutine
-// performs only point-to-point halo traffic on the ocean tag range, and
-// during the overlap window the driver goroutine performs either the
-// replicated atmosphere's broadcast collective or — decomposed — the
-// atmosphere's own point-to-point halo exchanges on the disjoint icosahedral
-// tag range. Point-to-point matching is per (source, tag), so neither
+// performs only point-to-point halo traffic on the tripolar decomposition's
+// tag range, and during the overlap window the driver goroutine performs
+// either the replicated atmosphere's broadcast collective or — decomposed —
+// the atmosphere's own point-to-point halo exchanges on the disjoint
+// icosahedral tag range. Point-to-point matching is per (source, tag), so neither
 // goroutine can consume the other's messages, and the decomposed halo
 // exchanges are barrier-free by design so no collective runs concurrently
 // with the ocean's traffic. The coupling rearranges, which do end in a

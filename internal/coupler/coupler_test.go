@@ -139,20 +139,35 @@ func TestGSMapOwnerAndLocalIndices(t *testing.T) {
 }
 
 func TestGSMapRejectsBadCoverage(t *testing.T) {
-	// Unowned index.
-	if _, err := OfflineGSMap(func(gi int) int {
+	// An owner of -1 marks a land-eliminated gap: the map builds, and the
+	// index simply resolves to no owner.
+	m, err := OfflineGSMap(func(gi int) int {
 		if gi == 5 {
 			return -1
 		}
 		return 0
-	}, 10, 1); err == nil {
-		t.Error("invalid owner accepted")
+	}, 10, 1)
+	if err != nil {
+		t.Fatalf("gapped map rejected: %v", err)
+	}
+	if _, err := m.Owner(5); err == nil {
+		t.Error("eliminated index resolved to an owner")
+	}
+	if pe, err := m.Owner(4); err != nil || pe != 0 {
+		t.Errorf("Owner(4) = %d, %v", pe, err)
+	}
+	// Genuinely invalid owners still fail.
+	if _, err := OfflineGSMap(func(gi int) int { return 7 }, 10, 1); err == nil {
+		t.Error("out-of-range owner accepted")
+	}
+	if _, err := OfflineGSMap(func(gi int) int { return -2 }, 10, 1); err == nil {
+		t.Error("negative owner accepted")
 	}
 	// Duplicate ownership via buildGSMap directly.
-	if _, err := buildGSMap([][]int{{0, 1, 2}, {2, 3}}, 4); err == nil {
+	if _, err := buildGSMap([][]int{{0, 1, 2}, {2, 3}}, 4, false); err == nil {
 		t.Error("duplicate ownership accepted")
 	}
-	if _, err := buildGSMap([][]int{{0, 1}}, 4); err == nil {
+	if _, err := buildGSMap([][]int{{0, 1}}, 4, false); err == nil {
 		t.Error("unowned index accepted")
 	}
 }

@@ -35,25 +35,32 @@ func NewGSMap(c *par.Comm, localIndices []int, globalSize int) (*GSMap, error) {
 	mine := append([]int(nil), localIndices...)
 	sort.Ints(mine)
 	all := par.Allgather(c, mine)
-	return buildGSMap(all, globalSize)
+	return buildGSMap(all, globalSize, false)
 }
 
 // OfflineGSMap builds the map without communication from a decomposition
 // function (global index -> owning rank), the offline preprocessing path of
 // §5.2.4. All ranks calling it with the same function get identical maps.
+// An owner of -1 marks an index assigned to no rank (a land-eliminated
+// block); such indices are simply absent from the map and are never routed.
 func OfflineGSMap(owner func(gi int) int, globalSize, nprocs int) (*GSMap, error) {
 	lists := make([][]int, nprocs)
+	gaps := false
 	for gi := 0; gi < globalSize; gi++ {
 		pe := owner(gi)
-		if pe < 0 || pe >= nprocs {
+		if pe == -1 {
+			gaps = true
+			continue
+		}
+		if pe < -1 || pe >= nprocs {
 			return nil, fmt.Errorf("coupler: owner(%d) = %d out of range", gi, pe)
 		}
 		lists[pe] = append(lists[pe], gi)
 	}
-	return buildGSMap(lists, globalSize)
+	return buildGSMap(lists, globalSize, gaps)
 }
 
-func buildGSMap(lists [][]int, globalSize int) (*GSMap, error) {
+func buildGSMap(lists [][]int, globalSize int, allowGaps bool) (*GSMap, error) {
 	m := &GSMap{GlobalSize: globalSize, NProcs: len(lists)}
 	seen := make([]bool, globalSize)
 	for pe, list := range lists {
@@ -77,9 +84,11 @@ func buildGSMap(lists [][]int, globalSize int) (*GSMap, error) {
 			i = j + 1
 		}
 	}
-	for gi, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("coupler: global index %d unowned", gi)
+	if !allowGaps {
+		for gi, ok := range seen {
+			if !ok {
+				return nil, fmt.Errorf("coupler: global index %d unowned", gi)
+			}
 		}
 	}
 	sort.Slice(m.Segments, func(a, b int) bool { return m.Segments[a].Start < m.Segments[b].Start })

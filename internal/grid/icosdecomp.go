@@ -78,8 +78,18 @@ type IcosDecomp struct {
 	cellPar int
 	edgePar int
 
+	ownedRanges [][2]int // cached single {C0, C1-C0} run for Decomp
+
 	obs HaloObserver
 }
+
+// IcosDecomp implements the shared Decomp contract (and EdgeDecomp for its
+// edge partition), so core's restart/snapshot/audit paths need no
+// mesh-specific type assertions.
+var (
+	_ Decomp     = (*IcosDecomp)(nil)
+	_ EdgeDecomp = (*IcosDecomp)(nil)
+)
 
 // HaloObserver is the instrumentation hook of the halo exchange — the
 // structural subset of obs.Observer the grid layer needs, declared locally
@@ -264,7 +274,39 @@ func NewIcosDecomp(mesh *IcosMesh, comm *par.Comm) (*IcosDecomp, error) {
 		d.cellBuf[pb] = make([][]float64, len(d.Peers))
 		d.edgeBuf[pb] = make([][]float64, len(d.Peers))
 	}
+	d.ownedRanges = [][2]int{{d.C0, d.C1 - d.C0}}
 	return d, nil
+}
+
+// Comm implements Decomp.
+func (d *IcosDecomp) Comm() *par.Comm { return d.comm }
+
+// NGlobal implements Decomp: the global cell count.
+func (d *IcosDecomp) NGlobal() int { return d.M.NCells() }
+
+// OwnedRanges implements Decomp: one contiguous {C0, C1-C0} run. The slice
+// is cached; callers must not mutate it.
+func (d *IcosDecomp) OwnedRanges() [][2]int { return d.ownedRanges }
+
+// OwnedEdgeList implements EdgeDecomp: the ascending edges whose first cell
+// is owned — a partition of the edge set across ranks.
+func (d *IcosDecomp) OwnedEdgeList() []int { return d.OwnEdges }
+
+// Gather implements Decomp: it assembles the owned ranges of a one-level
+// global-layout cell field onto rank 0 (nil elsewhere). Because ownership is
+// a single contiguous range per rank, the gathered chunks concatenate in
+// rank order.
+func (d *IcosDecomp) Gather(f []float64) []float64 {
+	chunk := append([]float64(nil), f[d.C0:d.C1]...)
+	chunks := par.Gather(d.comm, 0, chunk)
+	if d.comm.Rank() != 0 {
+		return nil
+	}
+	out := make([]float64, d.M.NCells())
+	for r, ch := range chunks {
+		copy(out[d.Starts[r]:d.Starts[r+1]], ch)
+	}
+	return out
 }
 
 // Owner returns the rank owning cell c under the contiguous-range rule.
@@ -283,7 +325,9 @@ func (d *IcosDecomp) InExtEdge(e int) bool { return d.inExtEdge[e] }
 // NOwned returns the number of owned cells.
 func (d *IcosDecomp) NOwned() int { return d.C1 - d.C0 }
 
-// SetObserver attaches the halo traffic counters (cpl.atm.halo.msgs/bytes).
+// SetObserver attaches the halo traffic counters:
+// cpl.halo.{msgs,bytes} with component="atm", plus the deprecated
+// cpl.atm.halo.* aliases for one release.
 func (d *IcosDecomp) SetObserver(o HaloObserver) { d.obs = o }
 
 // ExchangeCells fills the ring-1 halo of a cell-centred field with nlev
@@ -344,10 +388,24 @@ func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][
 		}
 	}
 	if d.obs != nil && len(d.Peers) > 0 {
+		d.obs.AddCount(ctrHaloMsgsAtm, int64(len(d.Peers)))
+		d.obs.AddCount(ctrHaloBytesAtm, bytes)
+		// Deprecated aliases, kept one release: the pre-unification flat
+		// names, so dashboards keyed on cpl.atm.halo.* keep reading.
 		d.obs.AddCount("cpl.atm.halo.msgs", int64(len(d.Peers)))
 		d.obs.AddCount("cpl.atm.halo.bytes", bytes)
 	}
 }
+
+// Unified per-component halo traffic counter names, in obs.Labeled's
+// canonical labeled form (spelled literally here: grid sits beside obs in
+// the dependency order and only sees the HaloObserver subset).
+const (
+	ctrHaloMsgsAtm  = `cpl.halo.msgs{component="atm"}`
+	ctrHaloBytesAtm = `cpl.halo.bytes{component="atm"}`
+	ctrHaloMsgsOcn  = `cpl.halo.msgs{component="ocn"}`
+	ctrHaloBytesOcn = `cpl.halo.bytes{component="ocn"}`
+)
 
 // rangeInts returns [lo, hi) as a slice.
 func rangeInts(lo, hi int) []int {

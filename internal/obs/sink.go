@@ -236,7 +236,9 @@ func (p *PromSink) Close() error {
 }
 
 // promName sanitizes a metric name into the Prometheus charset under the
-// ap3esm_ namespace: "par.send.bytes" -> "ap3esm_par_send_bytes".
+// ap3esm_ namespace: "par.send.bytes" -> "ap3esm_par_send_bytes". Labeled
+// names (see Labeled) must be split with SplitLabels first; promName only
+// sees base names.
 func promName(name string) string {
 	var b strings.Builder
 	b.WriteString("ap3esm_")
@@ -283,14 +285,14 @@ func (p *PromSink) Render(w io.Writer) {
 		hists := sortedKeys(reg.hists)
 		reg.mu.RUnlock()
 		for _, n := range counters {
-			pn := promName(n)
+			pn, extra := promSeries(n)
 			writeType(pn, "counter")
-			fmt.Fprintf(w, "%s{rank=\"%d\"} %d\n", pn, o.rank, reg.Counter(n).Value())
+			fmt.Fprintf(w, "%s{%srank=\"%d\"} %d\n", pn, extra, o.rank, reg.Counter(n).Value())
 		}
 		for _, n := range gauges {
-			pn := promName(n)
+			pn, extra := promSeries(n)
 			writeType(pn, "gauge")
-			fmt.Fprintf(w, "%s{rank=\"%d\"} %g\n", pn, o.rank, reg.Gauge(n).Value())
+			fmt.Fprintf(w, "%s{%srank=\"%d\"} %g\n", pn, extra, o.rank, reg.Gauge(n).Value())
 		}
 		for _, n := range hists {
 			h := reg.Histogram(n)
@@ -308,6 +310,18 @@ func (p *PromSink) Render(w io.Writer) {
 			fmt.Fprintf(w, "%s_count{rank=\"%d\"} %d\n", pn, o.rank, h.Count())
 		}
 	}
+}
+
+// promSeries splits a (possibly labeled) registry name into the sanitized
+// Prometheus family name and a label prefix ready to splice before the rank
+// label: `cpl.halo.msgs{component="ocn"}` becomes
+// ("ap3esm_cpl_halo_msgs", `component="ocn",`).
+func promSeries(name string) (pn, labelPrefix string) {
+	base, labels := SplitLabels(name)
+	if labels != "" {
+		labels += ","
+	}
+	return promName(base), labels
 }
 
 // sortedKeys returns a map's keys in sorted order.

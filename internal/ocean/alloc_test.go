@@ -16,8 +16,7 @@ func TestStepZeroAllocSteadyState(t *testing.T) {
 		t.Fatal(err)
 	}
 	par.Run(1, func(c *par.Comm) {
-		ct := par.NewCart(c, 1, 1, true, false)
-		b, err := grid.NewBlock(g, ct, 1)
+		b, err := grid.NewTripolarReplicated(g, c, 1)
 		if err != nil {
 			t.Error(err)
 			return

@@ -40,6 +40,35 @@ func (o *Ocean) Compact() *Compacted {
 // NWet returns the number of packed wet columns.
 func (c *Compacted) NWet() int { return len(c.cols) }
 
+// FullToCompact returns the per-block index map from an owned cell's
+// row-major offset (lj*NI + li) to its packed wet-column slot, or -1 for
+// land. Composed with the 2-D block partition — global column → owning
+// block via TripolarDecomp.Owner, then local offset, then this map — it
+// addresses the packed storage of any rank, which is what lets compaction
+// and the block decomposition coexist (§5.2.2 under the §5.1 partition).
+func (c *Compacted) FullToCompact() []int {
+	out := make([]int, c.o.B.NI*c.o.B.NJ)
+	for i := range out {
+		out[i] = -1
+	}
+	for ci, cl := range c.cols {
+		out[cl[1]*c.o.B.NI+cl[0]] = ci
+	}
+	return out
+}
+
+// CompactToGlobal returns, per packed wet-column slot, the global surface
+// column index (jg*NX + ig) the slot holds — the inverse direction of
+// FullToCompact lifted to global coordinates, so packed data from different
+// blocks can be scattered back into one global field.
+func (c *Compacted) CompactToGlobal() []int {
+	out := make([]int, len(c.cols))
+	for ci, cl := range c.cols {
+		out[ci] = c.o.B.GIdx(cl[0], cl[1])
+	}
+	return out
+}
+
 // WorkSaving returns the fraction of per-column sweep iterations the
 // compaction removes on this block (land columns skipped entirely).
 func (c *Compacted) WorkSaving() float64 {

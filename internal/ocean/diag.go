@@ -1,10 +1,6 @@
 package ocean
 
-import (
-	"math"
-
-	"repro/internal/par"
-)
+import "math"
 
 // TracerContent returns the global volume integral of a tracer field
 // (Σ tr·vol over wet cells), reduced across ranks. Conserved by transport;
@@ -22,7 +18,7 @@ func (o *Ocean) TracerContent(tr []float64) float64 {
 			}
 		}
 	}
-	return o.B.Cart.Comm.Allreduce(local, par.OpSum)
+	return o.B.AllreduceSum(local)
 }
 
 // HeatContentLocal returns this rank's contribution to the ocean heat
@@ -80,8 +76,8 @@ func (o *Ocean) MeanSSH() float64 {
 			den += area
 		}
 	}
-	num = o.B.Cart.Comm.Allreduce(num, par.OpSum)
-	den = o.B.Cart.Comm.Allreduce(den, par.OpSum)
+	num = o.B.AllreduceSum(num)
+	den = o.B.AllreduceSum(den)
 	if den == 0 {
 		return 0
 	}
@@ -106,8 +102,8 @@ func (o *Ocean) SurfaceKineticEnergy() float64 {
 			den += area
 		}
 	}
-	num = o.B.Cart.Comm.Allreduce(num, par.OpSum)
-	den = o.B.Cart.Comm.Allreduce(den, par.OpSum)
+	num = o.B.AllreduceSum(num)
+	den = o.B.AllreduceSum(den)
 	if den == 0 {
 		return 0
 	}
@@ -130,7 +126,7 @@ func (o *Ocean) MaxSurfaceSpeed() float64 {
 			}
 		}
 	}
-	return o.B.Cart.Comm.Allreduce(local, par.OpMax)
+	return o.B.AllreduceMax(local)
 }
 
 // SurfaceRossby computes the local sea-surface Rossby number field

@@ -6,11 +6,13 @@
 // transport, a linear equation of state, and surface wind/heat/freshwater
 // forcing imported through the coupler.
 //
-// The model runs distributed over a grid.Block (one block per rank; a 1×1
-// process layout is the serial case), exchanges halos through the par
-// runtime, executes its kernels through a pp execution space, honours the
-// FP64 / group-scaled-FP32 precision policy of §5.2.3, and supports the
-// 3-D non-ocean-point exclusion of §5.2.2 via the compact subpackage types.
+// The model runs distributed over a grid.TripolarDecomp (one 2-D block per
+// rank; a 1×1 layout is the serial case, and the replicated decomposition
+// gives every rank the full grid), exchanges halos through the par runtime
+// in batched split-phase calls that overlap with interior compute, executes
+// its kernels through a pp execution space, honours the FP64 /
+// group-scaled-FP32 precision policy of §5.2.3, and supports the 3-D
+// non-ocean-point exclusion of §5.2.2 via the compact subpackage types.
 package ocean
 
 import (
@@ -71,7 +73,7 @@ func DefaultConfig() Config {
 // Ocean is the model state on one rank's block.
 type Ocean struct {
 	G   *grid.Tripolar
-	B   *grid.Block
+	B   *grid.TripolarDecomp
 	Cfg Config
 	Sp  pp.Space
 
@@ -121,6 +123,11 @@ type stepScratch struct {
 	advTr, advOut []float64
 	advDt         float64
 	advSurf       func(c int) float64
+
+	// ex is the reusable halo-batch descriptor slice: each exchange site
+	// rebuilds it in place (the state arrays swap with the double buffers
+	// every step) without allocating.
+	ex []grid.HaloField
 }
 
 // idx2 returns the local 2-D offset of (li, lj) in owned coordinates.
@@ -129,9 +136,9 @@ func (o *Ocean) idx2(li, lj int) int { return (lj+o.B.H)*o.LNI + li + o.B.H }
 // idx3 returns the local 3-D offset at level k.
 func (o *Ocean) idx3(k, li, lj int) int { return k*o.LNI*o.LNJ + o.idx2(li, lj) }
 
-// New builds the ocean on a block of the given grid with an initial
-// stratified, resting state.
-func New(g *grid.Tripolar, b *grid.Block, cfg Config, sp pp.Space) (*Ocean, error) {
+// New builds the ocean on one rank's block of the given decomposition with
+// an initial stratified, resting state.
+func New(g *grid.Tripolar, b *grid.TripolarDecomp, cfg Config, sp pp.Space) (*Ocean, error) {
 	if cfg.DtBaroclinic <= 0 || cfg.NBarotropicSub <= 0 {
 		return nil, fmt.Errorf("ocean: non-positive timestep configuration")
 	}
@@ -274,15 +281,11 @@ func (o *Ocean) faceWetV(k, li, lj int) bool {
 // southClosed reports whether owned row lj sits on the closed southern wall.
 func (o *Ocean) southClosed(lj int) bool { return o.B.J0+lj == 0 }
 
-// exchange3D halo-exchanges every level of a 3-D field.
+// exchange3D halo-exchanges every level of a 3-D field in one batched call.
+// The stepping hot path batches several fields per call instead; this form
+// is kept for tests and one-off refreshes.
 func (o *Ocean) exchange3D(f []float64, vector bool) {
-	n2 := o.LNI * o.LNJ
-	for k := 0; k < o.NL; k++ {
-		lvl := f[k*n2 : (k+1)*n2]
-		if vector {
-			o.B.ExchangeVec(lvl)
-		} else {
-			o.B.Exchange(lvl)
-		}
-	}
+	s := o.scrEnsure()
+	s.ex = append(s.ex[:0], grid.HaloField{Data: f, NLev: o.NL, Vec: vector})
+	o.B.ExchangeFields(s.ex)
 }

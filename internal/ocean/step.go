@@ -65,40 +65,62 @@ func (o *Ocean) scrEnsure() *stepScratch {
 // pressure gradients, wind stress, Laplacian viscosity, and bottom drag to
 // the 3-D velocity.
 func (o *Ocean) baroclinicMomentum(dt float64) {
-	o.exchange3D(o.T, false)
-	o.exchange3D(o.S, false)
-	o.exchange3D(o.U, true)
-	o.exchange3D(o.V, true)
-	o.B.Exchange(o.Eta)
-	// Wind stress is face-averaged, so its halo must be current; it changes
-	// every coupling interval through Import.
-	o.B.ExchangeVec(o.TauX)
-	o.B.ExchangeVec(o.TauY)
-
 	s := o.scrEnsure()
 	s.dt = dt
-	n2 := o.LNI * o.LNJ
-	// Hydrostatic baroclinic pressure p'(k) at cell centers, halos included.
-	// The persistent buffer is not zeroed between calls: the momentum kernel
-	// only reads pr at wet faces, i.e. within the kmt range of both adjacent
-	// columns, and exactly those entries are rewritten here every call.
-	for idx := 0; idx < n2; idx++ {
-		if !o.maskT[idx] {
-			continue
-		}
-		acc := 0.0
-		for k := 0; k < o.kmt[idx]; k++ {
-			i3 := k*n2 + idx
-			acc += Gravity * Rho(o.T[i3], o.S[i3]) * o.dz[k]
-			s.pr[i3] = acc
-		}
-	}
+	// One batched split-phase exchange for the whole baroclinic state. Wind
+	// stress is face-averaged, so its halo must be current; it changes every
+	// coupling interval through Import.
+	s.ex = append(s.ex[:0],
+		grid.HaloField{Data: o.T, NLev: o.NL},
+		grid.HaloField{Data: o.S, NLev: o.NL},
+		grid.HaloField{Data: o.U, NLev: o.NL, Vec: true},
+		grid.HaloField{Data: o.V, NLev: o.NL, Vec: true},
+		grid.HaloField{Data: o.Eta, NLev: 1},
+		grid.HaloField{Data: o.TauX, NLev: 1, Vec: true},
+		grid.HaloField{Data: o.TauY, NLev: 1, Vec: true},
+	)
+	o.B.StartExchange(s.ex)
+	// Interior-first overlap: the owned-cell pressure integral only reads
+	// owned T/S, which StartExchange never touches, so it runs while halo
+	// messages are in flight. Halo columns are integrated after Finish —
+	// the same values the all-at-once sweep would produce.
+	h := o.B.H
+	o.pressureCells(s, h, h+o.B.NJ, h, h+o.B.NI)
+	o.B.FinishExchange(s.ex)
+	o.pressureCells(s, 0, h, 0, o.LNI)               // south halo rows
+	o.pressureCells(s, h+o.B.NJ, o.LNJ, 0, o.LNI)    // north halo rows
+	o.pressureCells(s, h, h+o.B.NJ, 0, h)            // west halo columns
+	o.pressureCells(s, h, h+o.B.NJ, h+o.B.NI, o.LNI) // east halo columns
 
 	copy(s.u, o.U)
 	copy(s.v, o.V)
 	o.Sp.ParallelFor(o.B.NJ, o.kernMomentum)
 	o.U, s.u = s.u, o.U
 	o.V, s.v = s.v, o.V
+}
+
+// pressureCells integrates the hydrostatic baroclinic pressure p'(k) for the
+// local cells with raw local row in [j0, j1) and raw local column in
+// [i0, i1) — halo offsets included, not owned coordinates. The persistent
+// buffer is not zeroed between calls: the momentum kernel only reads pr at
+// wet faces, i.e. within the kmt range of both adjacent columns, and exactly
+// those entries are rewritten here every call.
+func (o *Ocean) pressureCells(s *stepScratch, j0, j1, i0, i1 int) {
+	n2 := o.LNI * o.LNJ
+	for j := j0; j < j1; j++ {
+		for i := i0; i < i1; i++ {
+			idx := j*o.LNI + i
+			if !o.maskT[idx] {
+				continue
+			}
+			acc := 0.0
+			for k := 0; k < o.kmt[idx]; k++ {
+				i3 := k*n2 + idx
+				acc += Gravity * Rho(o.T[i3], o.S[i3]) * o.dz[k]
+				s.pr[i3] = acc
+			}
+		}
+	}
 }
 
 // momentumRow is the baroclinic momentum kernel for one owned row. It reads
@@ -179,9 +201,12 @@ func (o *Ocean) barotropicCycle(dt float64) {
 	nsub := o.Cfg.NBarotropicSub
 	s.dtb = dt / float64(nsub)
 	for sub := 0; sub < nsub; sub++ {
-		o.B.ExchangeVec(o.Ubar)
-		o.B.ExchangeVec(o.Vbar)
-		o.B.Exchange(o.Eta)
+		s.ex = append(s.ex[:0],
+			grid.HaloField{Data: o.Ubar, NLev: 1, Vec: true},
+			grid.HaloField{Data: o.Vbar, NLev: 1, Vec: true},
+			grid.HaloField{Data: o.Eta, NLev: 1},
+		)
+		o.B.ExchangeFields(s.ex)
 
 		// --- Continuity (forward): η from the current transports ---
 		copy(s.eta, o.Eta)
@@ -301,11 +326,14 @@ func (o *Ocean) imposeMean(f []float64, bar []float64, c, kmax, n2 int) {
 // flux-form advection, Laplacian diffusion, explicit vertical diffusion,
 // and the surface heat / freshwater forcing.
 func (o *Ocean) tracerStep(dt float64) {
-	o.exchange3D(o.T, false)
-	o.exchange3D(o.S, false)
-	o.exchange3D(o.U, true)
-	o.exchange3D(o.V, true)
 	s := o.scrEnsure()
+	s.ex = append(s.ex[:0],
+		grid.HaloField{Data: o.T, NLev: o.NL},
+		grid.HaloField{Data: o.S, NLev: o.NL},
+		grid.HaloField{Data: o.U, NLev: o.NL, Vec: true},
+		grid.HaloField{Data: o.V, NLev: o.NL, Vec: true},
+	)
+	o.B.ExchangeFields(s.ex)
 	o.advectDiffuseInto(o.T, s.t, dt, s.surfT)
 	o.T, s.t = s.t, o.T
 	o.advectDiffuseInto(o.S, s.s, dt, s.surfS)

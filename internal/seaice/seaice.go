@@ -14,7 +14,6 @@ import (
 	"math"
 
 	"repro/internal/grid"
-	"repro/internal/par"
 )
 
 // RhoIce is the ice density (kg/m³), exported so the budget ledger can
@@ -42,10 +41,13 @@ func DefaultConfig() Config {
 	return Config{Dt: 3600, DriftCoeff: 0.02, MinConc: 1e-3}
 }
 
-// Model is the sea-ice state on one rank's block of the ocean grid.
+// Model is the sea-ice state on one rank's block of the ocean grid. It is
+// partitioned on the same ownership map as the ocean: core hands both
+// components the same TripolarDecomp, so ice and ocean columns are always
+// co-resident and their surface exchange needs no communication.
 type Model struct {
 	G   *grid.Tripolar
-	B   *grid.Block
+	B   *grid.TripolarDecomp
 	Cfg Config
 
 	// State per local cell (with halo storage for drift transport).
@@ -65,7 +67,7 @@ type Model struct {
 }
 
 // New builds the ice model on the block with an initial polar ice cap.
-func New(g *grid.Tripolar, b *grid.Block, cfg Config) (*Model, error) {
+func New(g *grid.Tripolar, b *grid.TripolarDecomp, cfg Config) (*Model, error) {
 	if cfg.Dt <= 0 {
 		return nil, fmt.Errorf("seaice: non-positive dt")
 	}
@@ -167,10 +169,12 @@ func (m *Model) Step() {
 
 	// --- Free drift: upwind transport of concentration and volume by a
 	// fraction of the surface wind ---
-	b.Exchange(m.Conc)
-	b.Exchange(m.Thick)
-	b.ExchangeVec(m.WindU)
-	b.ExchangeVec(m.WindV)
+	b.ExchangeFields([]grid.HaloField{
+		{Data: m.Conc, NLev: 1},
+		{Data: m.Thick, NLev: 1},
+		{Data: m.WindU, NLev: 1, Vec: true},
+		{Data: m.WindV, NLev: 1, Vec: true},
+	})
 
 	vol := make([]float64, len(m.Conc))
 	for i := range vol {
@@ -247,7 +251,7 @@ func (m *Model) IceArea() float64 {
 			}
 		}
 	}
-	return m.B.Cart.Comm.Allreduce(local, par.OpSum)
+	return m.B.AllreduceSum(local)
 }
 
 // LocalVolume returns this rank's contribution to the ice volume (m³),
@@ -279,7 +283,7 @@ func (m *Model) IceVolume() float64 {
 			}
 		}
 	}
-	return m.B.Cart.Comm.Allreduce(local, par.OpSum)
+	return m.B.AllreduceSum(local)
 }
 
 func clamp01(x float64) float64 {

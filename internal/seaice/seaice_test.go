@@ -15,8 +15,7 @@ func withIce(t *testing.T, nx, ny int, f func(m *Model)) {
 		t.Fatal(err)
 	}
 	par.Run(1, func(c *par.Comm) {
-		ct := par.NewCart(c, 1, 1, true, false)
-		b, err := grid.NewBlock(g, ct, 1)
+		b, err := grid.NewTripolarReplicated(g, c, 1)
 		if err != nil {
 			t.Error(err)
 			return
@@ -33,8 +32,7 @@ func withIce(t *testing.T, nx, ny int, f func(m *Model)) {
 func TestValidation(t *testing.T) {
 	g, _ := grid.NewTripolar(24, 12, 3)
 	par.Run(1, func(c *par.Comm) {
-		ct := par.NewCart(c, 1, 1, true, false)
-		b, _ := grid.NewBlock(g, ct, 1)
+		b, _ := grid.NewTripolarReplicated(g, c, 1)
 		if _, err := New(g, b, Config{Dt: 0}); err == nil {
 			t.Error("zero dt accepted")
 		}
@@ -172,8 +170,7 @@ func TestParallelSerialIceAgreement(t *testing.T) {
 	run := func(px, py int) []float64 {
 		var out []float64
 		par.Run(px*py, func(c *par.Comm) {
-			ct := par.NewCart(c, px, py, true, false)
-			b, err := grid.NewBlock(g, ct, 1)
+			b, err := grid.NewTripolarDecompLayout(g, c, px, py, 1)
 			if err != nil {
 				t.Error(err)
 				return

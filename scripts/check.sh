@@ -1,12 +1,12 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
 # tests, dedicated race stress laps over the concurrent component
-# schedule and the decomposed atmosphere, a short fuzz of the restart-file
-# decoder, the coupled conservation-budget gate on four decomposed ranks
-# (conservative remap must close to 1e-10 relative), a two-rank
-# checkpoint/rollback lap through core.RunResilient with an injected
-# mid-run NaN, and the three benchmarks writing BENCH_1.json,
-# BENCH_2.json, and BENCH_3.json at the repo root.
+# schedule and the decomposed atmosphere and ocean, a short fuzz of the
+# restart-file decoder, the coupled conservation-budget gate on four
+# decomposed ranks (conservative remap must close to 1e-10 relative), a
+# two-rank checkpoint/rollback lap through core.RunResilient with an
+# injected mid-run NaN, and the four benchmarks writing BENCH_1.json,
+# BENCH_2.json, BENCH_3.json, and BENCH_4.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,6 +22,9 @@ echo "== conc schedule race stress (2 ranks, p2p rearrange)"
 go test -race ./internal/core -run 'TestConcScheduleRaceStress|TestConcSeqBitForBit' -count 1
 echo "== decomposed atmosphere race lap (4 ranks, both schedules, halo p2p)"
 go test -race ./internal/core -run 'TestDecompRankCountInvariance|TestDecompRestartRoundTrip' -count 1
+echo "== decomposed ocean/ice race lap (tripolar halos, serial-parallel equivalence)"
+go test -race ./internal/grid -run 'TestTripolar' -count 1
+go test -race ./internal/ocean ./internal/seaice -run 'TestSerialParallelEquivalence|TestParallelSerialIceAgreement|TestCompactionComposesWithBlockPartition' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
 echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule, 1e-10)"
@@ -43,3 +46,8 @@ go run ./cmd/bench3 -steps 8 -out /tmp/bench3_smoke.json
 rm -f /tmp/bench3_smoke.json
 echo "== bench3"
 go run ./cmd/bench3 -out BENCH_3.json
+echo "== bench4 smoke (schema self-validation)"
+go run ./cmd/bench4 -steps 8 -out /tmp/bench4_smoke.json
+rm -f /tmp/bench4_smoke.json
+echo "== bench4"
+go run ./cmd/bench4 -out BENCH_4.json
