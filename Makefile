@@ -1,14 +1,15 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
 # race-enabled tests (including the concurrent-schedule and decomposed-
-# atmosphere/ocean stress laps), the restart-decoder fuzz smoke, the
-# conservation-budget gate on four decomposed ranks, the two-rank
-# resilient rollback lap, and the four benchmarks (BENCH_1.json through
-# BENCH_4.json).
+# atmosphere/ocean stress laps, plus the multi-world ensemble isolation
+# lap), the restart-decoder fuzz smoke, the conservation-budget gate on
+# four decomposed ranks, the two-rank resilient rollback lap, the degraded
+# ensemble lap (one member permanently failed, quorum 3/4), and the five
+# benchmarks (BENCH_1.json through BENCH_5.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp fuzz budget resilient check bench bench2 bench3 bench4 clean
+.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 clean
 
 all: check
 
@@ -34,6 +35,10 @@ race-ocn-decomp:
 	$(GO) test -race ./internal/grid -run 'TestTripolar' -count 1
 	$(GO) test -race ./internal/ocean ./internal/seaice -run 'TestSerialParallelEquivalence|TestParallelSerialIceAgreement|TestCompactionComposesWithBlockPartition' -count 1
 
+race-ensemble:
+	$(GO) test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispatchPathDoesNotAllocate' -count 1
+	$(GO) test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 
@@ -44,6 +49,10 @@ resilient:
 	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
 	  -checkpoint-every 5 -restart-dir /tmp/ap3esm-resilient -faults 'nan@esm.step:21'
 	rm -rf /tmp/ap3esm-resilient
+
+ensemble:
+	$(GO) run ./cmd/ensemble -members 4 -groups 2 -quorum 3 -attempts 2 -retries 1 \
+	  -member-faults '1=nan@esm.step:1:repeat' -expect-completed 3 -expect-quarantined 1
 
 bench:
 	$(GO) run ./cmd/bench1 -out BENCH_1.json
@@ -57,7 +66,10 @@ bench3:
 bench4:
 	$(GO) run ./cmd/bench4 -out BENCH_4.json
 
-check: vet build race race-conc race-decomp race-ocn-decomp fuzz budget resilient bench bench2 bench3 bench4
+bench5:
+	$(GO) run ./cmd/bench5 -out BENCH_5.json
+
+check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json

@@ -42,33 +42,15 @@ func (e *ESM) WriteSnapshot(path string) error {
 	copy(iceLoc, e.Ice.Conc)
 	iceG := b.GatherGlobal(iceLoc)
 
-	// Atmosphere-cell diagnostics. Replicated, every rank's arrays already
-	// hold the global state; decomposed, each rank fills its owned cells and
-	// a sum-allreduce assembles the global field (the owned ranges partition
-	// the mesh, so the sum places each value exactly once). Collective either
-	// way, matching the gathers above.
+	// Atmosphere-cell diagnostics, assembled collectively (see
+	// assembleAtmField).
 	m := e.Atm
 	nc := m.Mesh.NCells()
-	atmField := func(fill func(c int, out []float64)) []float64 {
-		out := make([]float64, nc)
-		if e.dec == nil {
-			for c := 0; c < nc; c++ {
-				fill(c, out)
-			}
-			return out
-		}
-		for _, r := range e.dec.OwnedRanges() {
-			for c := r[0]; c < r[0]+r[1]; c++ {
-				fill(c, out)
-			}
-		}
-		return e.Comm.AllreduceSlice(out, par.OpSum)
-	}
 	m.Wind10mInto(e.u10, e.v10)
-	speed := atmField(func(c int, out []float64) { out[c] = math.Hypot(e.u10[c], e.v10[c]) })
-	ps := atmField(func(c int, out []float64) { out[c] = m.Ps[c] })
-	precip := atmField(func(c int, out []float64) { out[c] = m.Precip[c] })
-	cloud := atmField(func(c int, out []float64) {
+	speed := e.assembleAtmField(func(c int, out []float64) { out[c] = math.Hypot(e.u10[c], e.v10[c]) })
+	ps := e.assembleAtmField(func(c int, out []float64) { out[c] = m.Ps[c] })
+	precip := e.assembleAtmField(func(c int, out []float64) { out[c] = m.Precip[c] })
+	cloud := e.assembleAtmField(func(c int, out []float64) {
 		var w float64
 		for k := 0; k < m.NLev; k++ {
 			w += m.Qv[k*nc+c] * m.Ps[c] * m.DSig[k] / atmos.Gravity
@@ -97,4 +79,44 @@ func (e *ESM) WriteSnapshot(path string) error {
 		whole("atm.latcell", append([]float64(nil), m.Mesh.LatCell...))
 	}
 	return pario.WriteSingleTo(e.Comm, path, fields, e.obs)
+}
+
+// assembleAtmField builds a global atmosphere-cell field. Replicated, every
+// rank's arrays already hold the global state and fill runs over all cells;
+// decomposed, each rank fills only its owned cells (halo and farther cells
+// are stale at multi-rank) and a sum-allreduce assembles the global field —
+// the owned ranges partition the mesh, so the sum places each value exactly
+// once. Collective in both cases.
+func (e *ESM) assembleAtmField(fill func(c int, out []float64)) []float64 {
+	out := make([]float64, e.Atm.Mesh.NCells())
+	if e.dec == nil {
+		for c := range out {
+			fill(c, out)
+		}
+		return out
+	}
+	for _, r := range e.dec.OwnedRanges() {
+		for c := r[0]; c < r[0]+r[1]; c++ {
+			fill(c, out)
+		}
+	}
+	return e.Comm.AllreduceSlice(out, par.OpSum)
+}
+
+// GlobalAtmPs assembles the global surface-pressure field. Collective: under
+// atmosphere decomposition only owned cells are live locally, so diagnostics
+// that scan the whole field (typhoon center finding, ensemble spread) must go
+// through this gather rather than reading Atm.Ps directly.
+func (e *ESM) GlobalAtmPs() []float64 {
+	m := e.Atm
+	return e.assembleAtmField(func(c int, out []float64) { out[c] = m.Ps[c] })
+}
+
+// GlobalWind10m assembles the global 10 m wind components. Collective, like
+// GlobalAtmPs.
+func (e *ESM) GlobalWind10m() (u, v []float64) {
+	e.Atm.Wind10mInto(e.u10, e.v10)
+	u = e.assembleAtmField(func(c int, out []float64) { out[c] = e.u10[c] })
+	v = e.assembleAtmField(func(c int, out []float64) { out[c] = e.v10[c] })
+	return u, v
 }

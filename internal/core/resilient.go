@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"time"
 
+	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/par"
 )
 
@@ -25,14 +28,36 @@ type ResilientConfig struct {
 	Dir             string        // restart-set directory (the good set lives here)
 	NGroups         int           // pario subfile groups (default 1)
 	Backoff         time.Duration // base backoff, doubled per consecutive failure (default 10ms)
+
+	// Seed drives the backoff jitter deterministically. Every rank of a
+	// member passes the same seed, so the ranks draw identical delays and
+	// stay collectively in step, while co-scheduled members seeded
+	// differently spread their retries instead of thundering in lockstep.
+	Seed int64
+
+	// Member labels this run for fleet telemetry: when non-empty, every
+	// recovery.* counter is emitted twice — the plain series and the
+	// obs.Labeled `{member="..."}` series. (Fault-site scoping is separate:
+	// the esm.step/core.checkpoint sites consult the plan armed under the
+	// world's par.RunNamed member name.)
+	Member string
+
+	// OnCheckpoint, when non-nil, runs on every rank after each committed
+	// checkpoint — the natural cadence for in-flight diagnostics (track
+	// fixes, spread inputs). It must be collective-safe: every rank calls it
+	// at the same step, so collective gathers (GlobalAtmPs, GlobalWind10m)
+	// are fine inside. Work re-done after a rollback re-invokes it for
+	// re-committed checkpoints; callbacks must tolerate replayed steps.
+	OnCheckpoint func(e *ESM)
 }
 
 // RecoveryEvent records one detected fault and the rollback that answered it.
 type RecoveryEvent struct {
-	Step    int    // coupling step at which the fault was detected
-	Reason  string // what failed
-	Attempt int    // consecutive attempt number (resets on a good checkpoint)
-	Resumed int    // coupling step resumed from (0 = rebuilt initial state, -1 = gave up)
+	Step    int           // coupling step at which the fault was detected
+	Reason  string        // what failed
+	Attempt int           // consecutive attempt number (resets on a good checkpoint)
+	Resumed int           // coupling step resumed from (0 = rebuilt initial state, -1 = gave up)
+	Backoff time.Duration // the jittered delay slept before this rollback (0 when giving up)
 }
 
 // ResilientReport summarizes a resilient run.
@@ -70,6 +95,7 @@ func RunResilient(mk func() (*ESM, error), rc ResilientConfig) (*ESM, *Resilient
 	rep := &ResilientReport{}
 	goodStep := -1 // step of the last committed checkpoint; -1 = none yet
 	attempt := 0
+	rng := rand.New(rand.NewSource(rc.Seed))
 	for e.CouplingSteps() < target {
 		done, err := e.stepChecked()
 		if done {
@@ -79,12 +105,15 @@ func RunResilient(mk func() (*ESM, error), rc ResilientConfig) (*ESM, *Resilient
 			break
 		}
 		if err == nil && e.CouplingSteps()%rc.CheckpointEvery == 0 {
-			if cerr := e.WriteRestart(rc.Dir, rc.NGroups); cerr != nil {
+			if cerr := e.checkpoint(rc); cerr != nil {
 				err = fmt.Errorf("checkpoint at step %d: %w", e.CouplingSteps(), cerr)
 			} else {
 				goodStep = e.CouplingSteps()
 				rep.Checkpoints++
 				attempt = 0
+				if rc.OnCheckpoint != nil {
+					rc.OnCheckpoint(e)
+				}
 			}
 		}
 		if err == nil {
@@ -92,19 +121,26 @@ func RunResilient(mk func() (*ESM, error), rc ResilientConfig) (*ESM, *Resilient
 		}
 		attempt++
 		ev := RecoveryEvent{Step: e.CouplingSteps(), Reason: err.Error(), Attempt: attempt}
-		e.obs.AddCount("recovery.rollbacks", 1)
+		e.countRecovery("recovery.rollbacks", rc.Member)
 		if attempt > rc.MaxRetries {
 			ev.Resumed = -1
 			rep.Recoveries = append(rep.Recoveries, ev)
-			e.obs.AddCount("recovery.giveups", 1)
+			e.countRecovery("recovery.giveups", rc.Member)
 			return e, rep, fmt.Errorf("core: giving up after %d recovery attempts: %w", attempt, err)
 		}
-		// Exponential backoff before retrying, the transient-fault spacing.
+		// Exponential backoff with deterministic jitter before retrying: the
+		// delay is drawn uniformly from [d/2, d] of the doubled base, so
+		// co-scheduled ensemble members (seeded differently) spread their
+		// retries instead of hammering the pool in lockstep, while the
+		// shared per-member seed keeps that member's ranks in step.
 		shift := attempt - 1
 		if shift > 6 {
 			shift = 6
 		}
-		time.Sleep(rc.Backoff << shift)
+		base := rc.Backoff << shift
+		delay := base/2 + time.Duration(rng.Int63n(int64(base/2)+1))
+		ev.Backoff = delay
+		time.Sleep(delay)
 		fresh, rerr := rollback(mk, rc, &goodStep, e)
 		if rerr != nil {
 			ev.Resumed = -1
@@ -119,7 +155,35 @@ func RunResilient(mk func() (*ESM, error), rc ResilientConfig) (*ESM, *Resilient
 	}
 	rep.Steps = e.CouplingSteps()
 	e.obs.SetGauge("recovery.completed_steps", float64(rep.Steps))
+	if rc.Member != "" {
+		e.obs.SetGauge(obs.Labeled("recovery.completed_steps", "member", rc.Member), float64(rep.Steps))
+	}
 	return e, rep, nil
+}
+
+// countRecovery emits a recovery counter on the plain series and, when the
+// run is an ensemble member, on the obs.Labeled `{member="..."}` series.
+func (e *ESM) countRecovery(name, member string) {
+	e.obs.AddCount(name, 1)
+	if member != "" {
+		e.obs.AddCount(obs.Labeled(name, "member", member), 1)
+	}
+}
+
+// checkpoint commits a restart set, first consulting the "core.checkpoint"
+// fault site scoped to the world's member name (like esm.step — fault scope
+// always follows the world, while rc.Member only labels telemetry). The
+// injected verdict is allreduced so a rank-targeted io-error rolls every
+// rank back together instead of desynchronizing the collective WriteRestart.
+func (e *ESM) checkpoint(rc ResilientConfig) error {
+	bad := 0.0
+	if f := fault.PointScoped(e.Comm.Member(), "core.checkpoint", e.Comm.Rank()); f != nil && f.Kind == fault.IOError {
+		bad = 1
+	}
+	if e.Comm.Allreduce(bad, par.OpMax) != 0 {
+		return fmt.Errorf("injected checkpoint io-error")
+	}
+	return e.WriteRestart(rc.Dir, rc.NGroups)
 }
 
 // rollback rebuilds the model at the last good checkpoint. A checkpoint that
@@ -131,13 +195,13 @@ func rollback(mk func() (*ESM, error), rc ResilientConfig, goodStep *int, prev *
 		return nil, fmt.Errorf("core: rebuilding model for rollback: %w", err)
 	}
 	if *goodStep < 0 {
-		prev.obs.AddCount("recovery.restarts_from_scratch", 1)
+		prev.countRecovery("recovery.restarts_from_scratch", rc.Member)
 		return fresh, nil
 	}
 	if rerr := fresh.ReadRestart(rc.Dir, rc.NGroups); rerr != nil {
 		// ReadRestart may have partially populated the model: rebuild again
 		// and fall back to the initial state.
-		prev.obs.AddCount("recovery.checkpoint_corrupt", 1)
+		prev.countRecovery("recovery.checkpoint_corrupt", rc.Member)
 		*goodStep = -1
 		fresh, err = mk()
 		if err != nil {
@@ -145,7 +209,7 @@ func rollback(mk func() (*ESM, error), rc ResilientConfig, goodStep *int, prev *
 		}
 		return fresh, nil
 	}
-	prev.obs.AddCount("recovery.restores", 1)
+	prev.countRecovery("recovery.restores", rc.Member)
 	return fresh, nil
 }
 

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/par"
+	"repro/internal/pp"
+	"repro/internal/typhoon"
+)
+
+func mkObservedESM(t *testing.T, c *par.Comm, o obs.Observer) func() (*ESM, error) {
+	t.Helper()
+	cfg, err := ConfigForLabel("25v10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := resilientStart()
+	return func() (*ESM, error) {
+		e, err := NewWithOptions(cfg, c,
+			WithInterval(start, start.Add(24*time.Hour)),
+			WithSpace(pp.Serial{}),
+			WithObserver(o))
+		if err != nil {
+			return nil, err
+		}
+		typhoon.Seed(e.Atm, typhoon.DoksuriSeed())
+		return e, nil
+	}
+}
+
+func counterVal(o *obs.Obs, name string) int64 {
+	for _, p := range o.Snapshot() {
+		if p.Name == name && p.Kind == obs.KindCounter {
+			return p.Count
+		}
+	}
+	return 0
+}
+
+// The jitter satellite: the chosen backoff is surfaced on the RecoveryEvent,
+// lands inside [base/2, base] of the doubled-per-attempt base, and is
+// deterministic in ResilientConfig.Seed — two runs with the same seed sleep
+// identically, so a member's ranks stay collectively in step.
+func TestRunResilientJitteredBackoff(t *testing.T) {
+	const base = 4 * time.Millisecond
+	run := func(seed int64) time.Duration {
+		plan, err := fault.Parse("nan@esm.step:5", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fault.Arm(plan)
+		defer fault.Disarm()
+		var got time.Duration
+		par.Run(1, func(c *par.Comm) {
+			_, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+				Days: 8.0 / 180, CheckpointEvery: 4, MaxRetries: 3,
+				Dir: filepath.Join(t.TempDir(), "ck"), Backoff: base, Seed: seed,
+			})
+			if err != nil {
+				t.Fatalf("resilient run failed: %v", err)
+			}
+			if len(rep.Recoveries) != 1 {
+				t.Fatalf("recoveries %+v, want 1", rep.Recoveries)
+			}
+			got = rep.Recoveries[0].Backoff
+		})
+		return got
+	}
+	d1 := run(42)
+	if d1 < base/2 || d1 > base {
+		t.Fatalf("attempt-1 backoff %v outside [%v, %v]", d1, base/2, base)
+	}
+	if d2 := run(42); d2 != d1 {
+		t.Fatalf("same seed drew different delays: %v vs %v", d1, d2)
+	}
+}
+
+// The member-scoped supervision path end to end: a member world launched via
+// par.RunNamed recovers from faults armed only under its scope — a transient
+// NaN at the scoped esm.step site and an injected io-error at the scoped
+// core.checkpoint site — and every recovery counter is emitted on both the
+// plain and the {member="..."} labeled series.
+func TestRunResilientMemberScoped(t *testing.T) {
+	const member = "m03"
+	plan, err := fault.Parse("nan@esm.step:5;io-error@core.checkpoint:3", 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.ArmScoped(member, plan)
+	defer fault.DisarmScoped(member)
+
+	o := obs.New(0, nil)
+	par.RunNamed(1, member, func(c *par.Comm) {
+		_, rep, err := RunResilient(mkObservedESM(t, c, o), ResilientConfig{
+			Days: 12.0 / 180, CheckpointEvery: 4, MaxRetries: 4,
+			Dir: filepath.Join(t.TempDir(), "ck"), Backoff: time.Millisecond,
+			Seed: 3, Member: member,
+		})
+		if err != nil {
+			t.Fatalf("member run failed: %v (recoveries %+v)", err, rep.Recoveries)
+		}
+		if rep.Steps != 12 {
+			t.Fatalf("completed %d steps, want 12", rep.Steps)
+		}
+		if len(rep.Recoveries) != 2 {
+			t.Fatalf("recoveries %+v, want the scoped NaN and the scoped checkpoint io-error", rep.Recoveries)
+		}
+	})
+	if c := plan.Counts(); c[fault.NaN] != 1 || c[fault.IOError] != 1 {
+		t.Errorf("scoped fault counts %v", c)
+	}
+	plain := counterVal(o, "recovery.rollbacks")
+	labeled := counterVal(o, obs.Labeled("recovery.rollbacks", "member", member))
+	if plain != 2 || labeled != 2 {
+		t.Errorf("recovery.rollbacks plain=%d labeled=%d, want 2 and 2", plain, labeled)
+	}
+	if n := counterVal(o, obs.Labeled("recovery.restores", "member", member)); n != 2 {
+		t.Errorf("labeled recovery.restores = %d, want 2", n)
+	}
+}
+
+// A foreign member's scoped plan must not leak: the same faults armed under
+// another scope leave an unlabeled world's run untouched.
+func TestScopedFaultDoesNotLeakAcrossMembers(t *testing.T) {
+	plan, err := fault.Parse("nan@esm.step:2", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.ArmScoped("m99", plan)
+	defer fault.DisarmScoped("m99")
+	par.Run(1, func(c *par.Comm) {
+		_, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: 6.0 / 180, CheckpointEvery: 3, MaxRetries: 2,
+			Dir: filepath.Join(t.TempDir(), "ck"), Backoff: time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Recoveries) != 0 {
+			t.Fatalf("foreign scoped plan fired in the global world: %+v", rep.Recoveries)
+		}
+	})
+	if c := plan.Counts(); c[fault.NaN] != 0 {
+		t.Errorf("scoped plan fired %v times outside its scope", c)
+	}
+}

@@ -1,0 +1,271 @@
+// Package ensemble is the fan-out orchestrator of the paper's forecast
+// experiment (§7.1 widened to operational practice): N perturbed copies of
+// the flagship Doksuri scenario run concurrently over a shared pool of rank
+// groups, each member under its own resilient supervisor, so the ensemble
+// as a whole survives what single runs cannot — a member that dies
+// permanently is quarantined and the ensemble completes in degraded mode
+// under a quorum, while transient faults are absorbed in place by each
+// member's checkpoint/rollback supervisor.
+//
+// The supervision tree is three layers:
+//
+//	scheduler (work-stealing or static)        — which member runs where
+//	  └─ member supervisor (attempts loop)     — retry, deadline, quarantine
+//	       └─ core.RunResilient                — checkpoint, rollback, health
+//
+// Fault isolation between members rides on the scoped fault-plan registry
+// (fault.ArmScoped) keyed by each attempt's par.RunNamed world name: member
+// i's injected faults are invisible to member j, and a fenced (deadline-
+// expired) attempt's plan cannot leak into the retry.
+package ensemble
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/typhoon"
+)
+
+// Config parameterizes an ensemble run.
+type Config struct {
+	Label   string  // coupled configuration label, e.g. "25v10"
+	Members int     // ensemble size N (member 0 is the unperturbed control)
+	Groups  int     // rank groups in the shared pool
+	Ranks   int     // ranks per group (each member world runs this wide)
+	Hours   float64 // simulated hours per member
+
+	// Quorum is the minimum number of completed members for the ensemble to
+	// count as successful. Completed < Members but ≥ Quorum is a degraded
+	// completion; < Quorum is an ensemble failure.
+	Quorum int
+
+	// MaxAttempts bounds the scheduler-level retries per member (distinct
+	// from RunResilient's in-place rollbacks): a member whose attempts are
+	// exhausted is quarantined, not retried forever.
+	MaxAttempts int
+
+	CheckpointEvery int           // coupling steps between member checkpoints
+	Retries         int           // RunResilient MaxRetries within one attempt
+	Backoff         time.Duration // RunResilient base backoff
+	Deadline        time.Duration // wall-clock per attempt; 0 disables fencing
+	Seed            int64         // master seed: perturbations, jitter
+	BaseDir         string        // restart sets live in BaseDir/<member>/a<attempt>
+	Sched           string        // "steal" (default) or "static"
+
+	Perturb  typhoon.Perturbation // initial-condition envelope (zero = none)
+	PhysFrac float64              // ± fraction on atmos Kh and KhMomentum
+
+	// MemberFaults maps member index → fault plan spec (fault.Parse grammar)
+	// armed under that member's world scope for every attempt. Hit counters
+	// are monotonic across attempts, so one-shot faults never refire on
+	// retry — the transient-vs-permanent distinction the tests pin.
+	MemberFaults map[int]string
+
+	// GroupFaults maps group index → plan spec armed under the group's
+	// dispatch scope: the "ens.dispatch" site fires in the group supervisor
+	// before each member pickup. A repeat-stall here makes a slow group —
+	// the straggler harness the work-stealing benchmark uses.
+	GroupFaults map[int]string
+
+	// Track parameters for the per-member storm tracker (km).
+	TrackWindowKm float64
+	TrackSearchKm float64
+
+	Obs obs.Observer // ensemble-level metrics sink; Nop when nil
+}
+
+func (c *Config) fill() error {
+	if c.Label == "" {
+		c.Label = "25v10"
+	}
+	if c.Members < 1 || c.Groups < 1 || c.Ranks < 1 {
+		return fmt.Errorf("ensemble: need Members, Groups, Ranks ≥ 1 (got %d, %d, %d)",
+			c.Members, c.Groups, c.Ranks)
+	}
+	if c.Hours <= 0 {
+		c.Hours = 1
+	}
+	if c.Quorum <= 0 || c.Quorum > c.Members {
+		c.Quorum = c.Members
+	}
+	if c.MaxAttempts < 1 {
+		c.MaxAttempts = 3
+	}
+	if c.CheckpointEvery < 1 {
+		c.CheckpointEvery = 4
+	}
+	if c.Retries < 1 {
+		c.Retries = 3
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = time.Millisecond
+	}
+	if c.BaseDir == "" {
+		return fmt.Errorf("ensemble: need a BaseDir for member restart sets")
+	}
+	switch c.Sched {
+	case "":
+		c.Sched = SchedSteal
+	case SchedSteal, SchedStatic:
+	default:
+		return fmt.Errorf("ensemble: unknown scheduler %q (want %q or %q)", c.Sched, SchedSteal, SchedStatic)
+	}
+	if c.TrackWindowKm <= 0 {
+		c.TrackWindowKm = 2000
+	}
+	if c.TrackSearchKm <= 0 {
+		c.TrackSearchKm = 1000
+	}
+	if c.Obs == nil {
+		c.Obs = obs.Nop{}
+	}
+	return nil
+}
+
+// MemberSpec is one member's deterministic identity: everything needed to
+// reproduce its run bit-for-bit, independent of where and when the pool
+// schedules it.
+type MemberSpec struct {
+	Index int
+	Name  string // "m03"
+
+	Vortex typhoon.SeedConfig // perturbed initial vortex
+	// Physics-parameter perturbation: multiplicative scales on the atmosphere
+	// diffusivities (1.0 for the control).
+	KhScale    float64
+	KhMomScale float64
+
+	FaultSpec string // injected plan, "" for none
+}
+
+// BuildMembers derives the N member specs from the config: member 0 is the
+// unperturbed control; members 1..N-1 draw initial-condition perturbations
+// from the typhoon envelope and physics-parameter scales from the master
+// seed. Pure function of (cfg.Seed, cfg.Perturb, cfg.PhysFrac, N).
+func BuildMembers(cfg Config) []MemberSpec {
+	base := typhoon.DoksuriSeed()
+	specs := make([]MemberSpec, cfg.Members)
+	for i := range specs {
+		s := MemberSpec{
+			Index: i, Name: fmt.Sprintf("m%02d", i),
+			Vortex: base, KhScale: 1, KhMomScale: 1,
+			FaultSpec: cfg.MemberFaults[i],
+		}
+		if i > 0 {
+			memberSeed := cfg.Seed*1009 + int64(i)
+			s.Vortex = cfg.Perturb.Apply(base, memberSeed)
+			if cfg.PhysFrac > 0 {
+				// Two more deterministic draws, decoupled from the vortex
+				// stream so changing the envelope never reshuffles physics.
+				s.KhScale = 1 + symDraw(memberSeed*31+1, cfg.PhysFrac)
+				s.KhMomScale = 1 + symDraw(memberSeed*31+2, cfg.PhysFrac)
+			}
+		}
+		specs[i] = s
+	}
+	return specs
+}
+
+// MemberResult is one member's outcome.
+type MemberResult struct {
+	Spec        MemberSpec
+	Completed   bool
+	Quarantined bool
+	Attempts    int
+	Group       int // group that ran the final attempt
+
+	Steps       int
+	Checkpoints int
+	Rollbacks   int // in-place RunResilient recoveries across attempts
+
+	// FailureChain lists each failed attempt as "a<N> on g<G>: reason" — the
+	// quarantine report's evidence trail.
+	FailureChain []string
+
+	// Diagnostics from the completed run (zero when quarantined).
+	Fixes        []typhoon.Fix
+	TrackErrKm   float64
+	MinPsPa      float64
+	MaxWindMS    float64
+	MaxHeatResid float64
+	MaxFWResid   float64
+
+	// StateSum is an FNV-1a digest over the assembled global surface fields —
+	// the bit-for-bit identity the isolation tests compare across pool sizes
+	// and schedulers.
+	StateSum uint64
+}
+
+// Report is the ensemble outcome.
+type Report struct {
+	Members     []MemberResult
+	Completed   int
+	Quarantined int
+	QuorumMet   bool
+	Degraded    bool // completed < Members but quorum met
+	Steals      int  // members run by a non-home group (steal scheduler)
+	Spread      SpreadStats
+}
+
+// String renders the operator-facing summary: per-member outcome lines (the
+// quarantined ones with their failure chains) and the spread block.
+func (r *Report) String() string {
+	out := fmt.Sprintf("ensemble: %d/%d members completed", r.Completed, len(r.Members))
+	switch {
+	case !r.QuorumMet:
+		out += " — QUORUM FAILED"
+	case r.Degraded:
+		out += " — degraded mode"
+	}
+	out += "\n"
+	for i := range r.Members {
+		m := &r.Members[i]
+		switch {
+		case m.Completed:
+			out += fmt.Sprintf("  %s g%d a%d: ok steps=%d ckpt=%d rollbacks=%d track=%.0fkm minps=%.0fPa\n",
+				m.Spec.Name, m.Group, m.Attempts, m.Steps, m.Checkpoints, m.Rollbacks, m.TrackErrKm, m.MinPsPa)
+		case m.Quarantined:
+			out += fmt.Sprintf("  %s: QUARANTINED after %d attempts\n", m.Spec.Name, m.Attempts)
+			for _, f := range m.FailureChain {
+				out += "    " + f + "\n"
+			}
+		default:
+			out += fmt.Sprintf("  %s: not run\n", m.Spec.Name)
+		}
+	}
+	s := r.Spread
+	if s.N > 1 {
+		out += fmt.Sprintf("  spread(n=%d): track %.0f±%.0f km, minps %.0f±%.0f Pa, heat-resid max %.2e\n",
+			s.N, s.TrackErrMeanKm, s.TrackErrSpreadKm, s.MinPsMeanPa, s.MinPsSpreadPa, s.HeatResidMax)
+	}
+	return out
+}
+
+// symDraw returns a deterministic uniform draw in [-half, +half] for a seed.
+func symDraw(seed int64, half float64) float64 {
+	// splitmix64-style scramble; cheap, stateless, and stable across runs.
+	z := uint64(seed) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	u := float64(z>>11) / float64(1<<53) // [0, 1)
+	return half * (2*u - 1)
+}
+
+// planFor parses and seeds member i's fault plan; nil when the member has
+// none. The plan object is shared across the member's attempts so hit
+// counters stay monotonic (one-shot faults fire exactly once per member).
+func planFor(cfg Config, spec MemberSpec) (*fault.Plan, error) {
+	if spec.FaultSpec == "" {
+		return nil, nil
+	}
+	p, err := fault.Parse(spec.FaultSpec, cfg.Seed*7919+int64(spec.Index))
+	if err != nil {
+		return nil, fmt.Errorf("ensemble: member %s fault spec: %w", spec.Name, err)
+	}
+	p.SetObserver(cfg.Obs)
+	p.SetMember(spec.Name)
+	return p, nil
+}

@@ -1,0 +1,209 @@
+package ensemble
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/typhoon"
+)
+
+func baseConfig(t *testing.T) Config {
+	t.Helper()
+	return Config{
+		Label:           "25v10",
+		Members:         2,
+		Groups:          2,
+		Ranks:           1,
+		Hours:           1, // 7 coupling steps at 180/day
+		CheckpointEvery: 2,
+		Retries:         2,
+		MaxAttempts:     2,
+		Backoff:         time.Millisecond,
+		Seed:            42,
+		BaseDir:         t.TempDir(),
+		Obs:             obs.New(0, nil),
+	}
+}
+
+func counterVal(o obs.Observer, name string) int64 {
+	for _, p := range o.Snapshot() {
+		if p.Name == name && p.Kind == obs.KindCounter {
+			return p.Count
+		}
+	}
+	return 0
+}
+
+// The acceptance scenario: one member carries a permanent fault and is
+// quarantined after its attempts are exhausted, while the ensemble completes
+// the remaining members in degraded mode under the quorum. The report lists
+// the quarantined member's failure chain and the ens.* counters match.
+func TestEnsembleDegradedCompletion(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Members = 4
+	cfg.Quorum = 3
+	cfg.MemberFaults = map[int]string{1: "nan@esm.step:1:repeat"}
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("degraded ensemble returned an error: %v\n%s", err, rep)
+	}
+	if rep.Completed != 3 || rep.Quarantined != 1 {
+		t.Fatalf("completed=%d quarantined=%d, want 3 and 1\n%s", rep.Completed, rep.Quarantined, rep)
+	}
+	if !rep.QuorumMet || !rep.Degraded {
+		t.Fatalf("quorumMet=%v degraded=%v, want true/true", rep.QuorumMet, rep.Degraded)
+	}
+	q := rep.Members[1]
+	if !q.Quarantined || q.Completed {
+		t.Fatalf("member 1 should be quarantined: %+v", q)
+	}
+	if q.Attempts != cfg.MaxAttempts || len(q.FailureChain) != cfg.MaxAttempts {
+		t.Fatalf("quarantine evidence: attempts=%d chain=%v, want %d entries", q.Attempts, q.FailureChain, cfg.MaxAttempts)
+	}
+	for _, f := range q.FailureChain {
+		if !strings.Contains(f, "giving up") {
+			t.Errorf("failure chain entry %q does not carry the supervisor's verdict", f)
+		}
+	}
+	for _, i := range []int{0, 2, 3} {
+		m := rep.Members[i]
+		if !m.Completed || m.Steps != 7 {
+			t.Fatalf("member %d: %+v, want completed with 7 steps", i, m)
+		}
+	}
+
+	if n := counterVal(cfg.Obs, "ens.members.completed"); n != 3 {
+		t.Errorf("ens.members.completed = %d, want 3", n)
+	}
+	if n := counterVal(cfg.Obs, "ens.members.quarantined"); n != 1 {
+		t.Errorf("ens.members.quarantined = %d, want 1", n)
+	}
+	if n := counterVal(cfg.Obs, "ens.retries.total"); n != 1 {
+		t.Errorf("ens.retries.total = %d, want 1", n)
+	}
+	// The member label follows the fault and the recovery machinery.
+	if n := counterVal(cfg.Obs, obs.Labeled("fault.injected.nan", "member", "m01")); n == 0 {
+		t.Error("no member-labeled fault.injected.nan counter")
+	}
+	if n := counterVal(cfg.Obs, obs.Labeled("recovery.giveups", "member", "m01")); n != 2 {
+		t.Errorf("labeled recovery.giveups = %d, want one per attempt", n)
+	}
+}
+
+// A transient (one-shot) fault is absorbed in place by the member's own
+// RunResilient supervisor — the member is NOT rescheduled, and its final
+// state is bit-for-bit the state of a fault-free run of the same member.
+func TestEnsembleTransientRecoversInPlace(t *testing.T) {
+	clean := baseConfig(t)
+	crep, err := Run(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faulted := baseConfig(t)
+	faulted.MemberFaults = map[int]string{1: "nan@esm.step:5"}
+	frep, err := Run(faulted)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m := frep.Members[1]
+	if !m.Completed || m.Attempts != 1 {
+		t.Fatalf("transient fault cost the member a reschedule: %+v", m)
+	}
+	if m.Rollbacks < 1 {
+		t.Fatalf("no in-place rollback recorded: %+v", m)
+	}
+	for i := range frep.Members {
+		if frep.Members[i].StateSum != crep.Members[i].StateSum {
+			t.Fatalf("member %d state diverged after in-place recovery: %x vs %x",
+				i, frep.Members[i].StateSum, crep.Members[i].StateSum)
+		}
+	}
+	if n := counterVal(faulted.Obs, obs.Labeled("recovery.restores", "member", "m01")); n < 1 {
+		t.Error("no member-labeled recovery.restores counter")
+	}
+}
+
+// Below quorum, Run reports the failure as an error while still returning
+// the full report.
+func TestEnsembleQuorumFailure(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Quorum = 2
+	cfg.MemberFaults = map[int]string{1: "nan@esm.step:1:repeat"}
+
+	rep, err := Run(cfg)
+	if err == nil {
+		t.Fatalf("missed quorum not surfaced\n%s", rep)
+	}
+	if rep == nil || rep.Completed != 1 || rep.QuorumMet {
+		t.Fatalf("report %+v, want 1 completed and quorum not met", rep)
+	}
+}
+
+// A straggler attempt — a stall fault holding the member's world past the
+// wall-clock deadline — is fenced and converted into a reschedulable
+// failure; the retry completes because the one-shot stall never refires.
+func TestEnsembleDeadlineReschedulesStraggler(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Ranks = 2
+	cfg.Hours = 0.25 // one coupling step: the healthy path stays far inside the fence
+	// Generous fence: healthy attempts must finish well inside it even under
+	// the race detector's slowdown; the stalled attempt never finishes at all.
+	cfg.Deadline = 8 * time.Second
+	// The stall drops a coupling message after sleeping, deadlocking the
+	// world: without the fence this member would hang forever.
+	cfg.MemberFaults = map[int]string{1: "stall@par.send:1:delay=10ms"}
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("ensemble failed: %v\n%s", err, rep)
+	}
+	m := rep.Members[1]
+	if !m.Completed || m.Attempts != 2 {
+		t.Fatalf("straggler member: %+v, want completion on attempt 2", m)
+	}
+	if len(m.FailureChain) != 1 || !strings.Contains(m.FailureChain[0], "deadline") {
+		t.Fatalf("failure chain %v, want the fencing verdict", m.FailureChain)
+	}
+	if n := counterVal(cfg.Obs, "ens.deadline.expired"); n != 1 {
+		t.Errorf("ens.deadline.expired = %d, want 1", n)
+	}
+}
+
+// The spread product covers completed members only and publishes the ens.*
+// gauges.
+func TestEnsembleSpreadStats(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.Members = 3
+	cfg.Perturb.PosDeg = 0.5
+	cfg.Perturb.DeltaPsFrac = 0.2
+	cfg.PhysFrac = 0.1
+
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Spread.N != 3 {
+		t.Fatalf("spread over %d members, want 3", rep.Spread.N)
+	}
+	if rep.Spread.MinPsSpreadPa <= 0 {
+		t.Errorf("perturbed members show zero pressure spread: %+v", rep.Spread)
+	}
+	found := false
+	for _, p := range cfg.Obs.Snapshot() {
+		if p.Name == "ens.spread.min_ps_pa.sigma" && p.Kind == obs.KindGauge {
+			found = p.Value > 0
+		}
+	}
+	if !found {
+		t.Error("ens.spread.min_ps_pa.sigma gauge missing or zero")
+	}
+	// Member 0 is the control: unperturbed vortex, unit physics scales.
+	if s := rep.Members[0].Spec; s.Vortex != typhoon.DoksuriSeed() || s.KhScale != 1 {
+		t.Errorf("control member was perturbed: %+v", s)
+	}
+}

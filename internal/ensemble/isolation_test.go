@@ -1,0 +1,108 @@
+package ensemble
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/pp"
+	"repro/internal/typhoon"
+)
+
+// Two par.Worlds stepping concurrently (the situation every ensemble run
+// creates) must not share any state: run two members side by side under
+// -race and pin that each produces exactly the state it produces alone.
+func TestTwoWorldsStepConcurrently(t *testing.T) {
+	cfg, err := core.ConfigForLabel("25v10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := ensembleStart()
+	runWorld := func(name string, vortex typhoon.SeedConfig) uint64 {
+		var sum uint64
+		par.RunNamed(2, name, func(c *par.Comm) {
+			e, err := core.NewWithOptions(cfg, c,
+				core.WithInterval(start, start.Add(24*time.Hour)),
+				core.WithSpace(pp.Serial{}))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := typhoon.Seed(e.Atm, vortex); err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < 6; i++ {
+				e.Step()
+			}
+			ps := e.GlobalAtmPs()
+			u, v := e.GlobalWind10m()
+			if c.Rank() == 0 {
+				sum = stateSum(ps, u, v)
+			}
+		})
+		return sum
+	}
+
+	va := typhoon.DoksuriSeed()
+	vb := typhoon.DefaultPerturbation().Apply(va, 99)
+
+	// Solo references.
+	refA := runWorld("solo-a", va)
+	refB := runWorld("solo-b", vb)
+
+	// The same two members concurrently, several times over to shake out
+	// scheduling interleavings under -race.
+	for round := 0; round < 3; round++ {
+		var wg sync.WaitGroup
+		var gotA, gotB uint64
+		wg.Add(2)
+		go func() { defer wg.Done(); gotA = runWorld("conc-a", va) }()
+		go func() { defer wg.Done(); gotB = runWorld("conc-b", vb) }()
+		wg.Wait()
+		if gotA != refA || gotB != refB {
+			t.Fatalf("round %d: concurrent worlds diverged from solo runs: a %x/%x, b %x/%x",
+				round, gotA, refA, gotB, refB)
+		}
+	}
+}
+
+// Member i's result is a function of its spec alone: the same ensemble run
+// over a different pool shape and scheduler yields bit-for-bit identical
+// per-member states — scheduling and work stealing are invisible to the
+// science.
+func TestMemberResultsInvariantAcrossPools(t *testing.T) {
+	mk := func(groups int, sched string) Config {
+		return Config{
+			Label: "25v10", Members: 3, Groups: groups, Ranks: 1,
+			Hours: 1, CheckpointEvery: 3, Retries: 2, MaxAttempts: 2,
+			Backoff: time.Millisecond, Seed: 7, Sched: sched,
+			Perturb:  typhoon.DefaultPerturbation(),
+			PhysFrac: 0.1,
+			BaseDir:  t.TempDir(),
+		}
+	}
+	ref, err := Run(mk(1, SchedStatic))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alt := range []Config{mk(2, SchedSteal), mk(3, SchedSteal), mk(2, SchedStatic)} {
+		got, err := Run(alt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Members {
+			r, g := ref.Members[i], got.Members[i]
+			if r.StateSum != g.StateSum {
+				t.Fatalf("groups=%d sched=%s: member %d state %x differs from reference %x",
+					alt.Groups, alt.Sched, i, g.StateSum, r.StateSum)
+			}
+			if r.TrackErrKm != g.TrackErrKm || r.MinPsPa != g.MinPsPa {
+				t.Fatalf("groups=%d sched=%s: member %d diagnostics differ: %+v vs %+v",
+					alt.Groups, alt.Sched, i, g, r)
+			}
+		}
+	}
+}

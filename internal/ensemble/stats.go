@@ -1,0 +1,100 @@
+package ensemble
+
+import (
+	"math"
+
+	"repro/internal/obs"
+)
+
+// Ensemble-spread statistics (the Fig 7-style product): the mean and spread
+// across completed members of the forecast-relevant scalars. Spread is the
+// sample standard deviation — the operational "ensemble spread" that
+// brackets forecast uncertainty.
+type SpreadStats struct {
+	N int // completed members contributing
+
+	TrackErrMeanKm, TrackErrSpreadKm float64
+	MinPsMeanPa, MinPsSpreadPa       float64
+	MaxWindMeanMS, MaxWindSpreadMS   float64
+
+	// Conservation-audit residuals aggregated across members: a member whose
+	// budgets drift is visible here even when its track looks fine.
+	HeatResidMean, HeatResidMax float64
+	FWResidMean, FWResidMax     float64
+}
+
+func computeSpread(members []MemberResult) SpreadStats {
+	var s SpreadStats
+	var te, ps, w []float64
+	for i := range members {
+		m := &members[i]
+		if !m.Completed {
+			continue
+		}
+		s.N++
+		te = append(te, m.TrackErrKm)
+		ps = append(ps, m.MinPsPa)
+		w = append(w, m.MaxWindMS)
+		s.HeatResidMean += m.MaxHeatResid
+		s.FWResidMean += m.MaxFWResid
+		s.HeatResidMax = math.Max(s.HeatResidMax, m.MaxHeatResid)
+		s.FWResidMax = math.Max(s.FWResidMax, m.MaxFWResid)
+	}
+	if s.N == 0 {
+		return s
+	}
+	s.HeatResidMean /= float64(s.N)
+	s.FWResidMean /= float64(s.N)
+	s.TrackErrMeanKm, s.TrackErrSpreadKm = meanSpread(te)
+	s.MinPsMeanPa, s.MinPsSpreadPa = meanSpread(ps)
+	s.MaxWindMeanMS, s.MaxWindSpreadMS = meanSpread(w)
+	return s
+}
+
+func meanSpread(xs []float64) (mean, spread float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		ss += (x - mean) * (x - mean)
+	}
+	return mean, math.Sqrt(ss / float64(len(xs)-1))
+}
+
+// publish streams the ensemble product through obs: aggregate ens.* gauges
+// plus one labeled series per member, so a dashboard can fan the spread back
+// out to the member that caused it.
+func publish(o obs.Observer, r *Report) {
+	s := r.Spread
+	o.SetGauge("ens.spread.track_err_km.mean", s.TrackErrMeanKm)
+	o.SetGauge("ens.spread.track_err_km.sigma", s.TrackErrSpreadKm)
+	o.SetGauge("ens.spread.min_ps_pa.mean", s.MinPsMeanPa)
+	o.SetGauge("ens.spread.min_ps_pa.sigma", s.MinPsSpreadPa)
+	o.SetGauge("ens.spread.max_wind_ms.mean", s.MaxWindMeanMS)
+	o.SetGauge("ens.spread.max_wind_ms.sigma", s.MaxWindSpreadMS)
+	o.SetGauge("ens.budget.heat_resid.max", s.HeatResidMax)
+	o.SetGauge("ens.budget.heat_resid.mean", s.HeatResidMean)
+	o.SetGauge("ens.budget.fw_resid.max", s.FWResidMax)
+	o.SetGauge("ens.budget.fw_resid.mean", s.FWResidMean)
+	o.SetGauge("ens.sched.steals", float64(r.Steals))
+	for i := range r.Members {
+		m := &r.Members[i]
+		if !m.Completed {
+			continue
+		}
+		name := m.Spec.Name
+		o.SetGauge(obs.Labeled("ens.member.track_err_km", "member", name), m.TrackErrKm)
+		o.SetGauge(obs.Labeled("ens.member.min_ps_pa", "member", name), m.MinPsPa)
+		o.SetGauge(obs.Labeled("ens.member.max_wind_ms", "member", name), m.MaxWindMS)
+		o.SetGauge(obs.Labeled("ens.member.heat_resid", "member", name), m.MaxHeatResid)
+		o.SetGauge(obs.Labeled("ens.member.attempts", "member", name), float64(m.Attempts))
+	}
+}

@@ -1,0 +1,184 @@
+package fault
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A scoped plan fires only inside its scope; Point and foreign scopes never
+// see it, and DisarmScoped withdraws exactly one scope.
+func TestScopedPlanIsolation(t *testing.T) {
+	defer Disarm()
+	mk := func(spec string) *Plan {
+		p, err := Parse(spec, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	ArmScoped("m00", mk("nan@esm.step:1"))
+	ArmScoped("m01", mk("io-error@esm.step:1"))
+	defer DisarmScoped("m00")
+	defer DisarmScoped("m01")
+
+	if f := Point("esm.step", 0); f != nil {
+		t.Fatalf("global Point saw a scoped plan: %+v", f)
+	}
+	if f := PointScoped("m02", "esm.step", 0); f != nil {
+		t.Fatalf("foreign scope saw another member's plan: %+v", f)
+	}
+	f0 := PointScoped("m00", "esm.step", 0)
+	if f0 == nil || f0.Kind != NaN {
+		t.Fatalf("m00 got %+v, want its own nan", f0)
+	}
+	f1 := PointScoped("m01", "esm.step", 0)
+	if f1 == nil || f1.Kind != IOError {
+		t.Fatalf("m01 got %+v, want its own io-error", f1)
+	}
+
+	DisarmScoped("m00")
+	if p := ArmedScoped("m00"); p != nil {
+		t.Fatal("m00 still armed after DisarmScoped")
+	}
+	if p := ArmedScoped("m01"); p == nil {
+		t.Fatal("DisarmScoped(m00) withdrew m01's plan")
+	}
+}
+
+// Hit counters advance independently per plan: a member scope whose own
+// plan schedules nothing still falls through to the global plan, and each
+// plan counts the call on its own (site, rank) counter.
+func TestScopedFallsThroughToGlobal(t *testing.T) {
+	defer Disarm()
+	g, err := Parse("stall@par.send:2:delay=1ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse("nan@esm.step:1", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Arm(g)
+	ArmScoped("m05", m)
+	defer DisarmScoped("m05")
+
+	if f := PointScoped("m05", "par.send", 0); f != nil {
+		t.Fatalf("first par.send call fired %+v, global plan wants hit 2", f)
+	}
+	f := PointScoped("m05", "par.send", 0)
+	if f == nil || f.Kind != Stall {
+		t.Fatalf("second par.send call got %+v, want the global stall", f)
+	}
+	if c := m.Counts(); c[Stall] != 0 {
+		t.Fatalf("member plan recorded the global plan's firing: %v", c)
+	}
+	if c := g.Counts(); c[Stall] != 1 {
+		t.Fatalf("global stall count = %v, want 1", c)
+	}
+}
+
+// An empty registry must restore the single-load fast path.
+func TestRegistryNormalizesToNil(t *testing.T) {
+	p, err := Parse("nan@x:1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ArmScoped("tmp", p)
+	Arm(p)
+	Disarm()
+	DisarmScoped("tmp")
+	if s := armed.Load(); s != nil {
+		t.Fatalf("empty registry left a non-nil snapshot: %+v", s)
+	}
+}
+
+type lockedObs struct {
+	mu sync.Mutex
+	n  map[string]int64
+}
+
+func (o *lockedObs) AddCount(name string, d int64) {
+	o.mu.Lock()
+	if o.n == nil {
+		o.n = make(map[string]int64)
+	}
+	o.n[name] += d
+	o.mu.Unlock()
+}
+
+// SetMember emits the canonical labeled series next to the plain counter.
+func TestMemberLabeledCounters(t *testing.T) {
+	p, err := Parse("nan@esm.step:1", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob := &lockedObs{}
+	p.SetObserver(ob)
+	p.SetMember("m07")
+	if f := p.point("esm.step", 0); f == nil {
+		t.Fatal("injection did not fire")
+	}
+	if ob.n["fault.injected.nan"] != 1 {
+		t.Fatalf("plain counter = %d, want 1", ob.n["fault.injected.nan"])
+	}
+	if ob.n[`fault.injected.nan{member="m07"}`] != 1 {
+		t.Fatalf("labeled counter missing: %v", ob.n)
+	}
+}
+
+// The -race lap of the goroutine-safety satellite: many member worlds hammer
+// one shared plan and their own scoped plans concurrently — Point hits, the
+// seeded RNG behind Corrupt, Counts snapshots, and Arm/Disarm swaps all race
+// against each other unless the plan's mutex and the registry snapshot hold.
+func TestPlanConcurrentUse(t *testing.T) {
+	defer Disarm()
+	shared, err := New(11,
+		Injection{Kind: Bitflip, Site: "pario.write", Hit: 3, Rank: AnyRank, Repeat: true},
+		Injection{Kind: Stall, Site: "par.send", Hit: 5, Rank: AnyRank, Repeat: true, Delay: time.Microsecond},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared.SetObserver(&lockedObs{})
+	shared.SetMember("fleet")
+	Arm(shared)
+
+	const workers = 8
+	const iters = 400
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			scope := fmt.Sprintf("m%02d", w)
+			own, err := New(int64(w), Injection{Kind: NaN, Site: "esm.step", Hit: 2, Rank: AnyRank, Repeat: true})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ArmScoped(scope, own)
+			defer DisarmScoped(scope)
+			buf := make([]byte, 64)
+			for i := 0; i < iters; i++ {
+				if f := PointScoped(scope, "pario.write", w); f != nil {
+					f.Corrupt(buf)
+				}
+				if f := PointScoped(scope, "par.send", w); f != nil {
+					f.Sleep()
+				}
+				PointScoped(scope, "esm.step", w)
+				if i%64 == 0 {
+					shared.Counts()
+					own.Counts()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	got := shared.Counts()
+	if got[Bitflip] == 0 || got[Stall] == 0 {
+		t.Fatalf("shared plan never fired under concurrency: %v", got)
+	}
+}

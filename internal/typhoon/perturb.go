@@ -1,0 +1,55 @@
+package typhoon
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Ensemble perturbations (§7.1's forecast experiment widened to an ensemble):
+// operational typhoon ensembles perturb the analysis — vortex position,
+// intensity, size — so the member spread brackets the forecast uncertainty.
+// Perturbation describes the amplitude envelope; Apply draws one member's
+// deterministic sample from it, so member i's seed always reproduces member
+// i's initial condition regardless of scheduling.
+
+// Perturbation bounds the initial-condition perturbations applied to a
+// vortex seed. Each field is a half-width: Apply draws uniformly from
+// [-x, +x] around the base value.
+type Perturbation struct {
+	PosDeg      float64 // vortex center displacement, degrees lon and lat
+	DeltaPsFrac float64 // fractional perturbation of the pressure deficit
+	RadiusFrac  float64 // fractional perturbation of the radius of max wind
+}
+
+// DefaultPerturbation is a modest operational-style envelope: ±0.5° position,
+// ±15% intensity, ±10% size.
+func DefaultPerturbation() Perturbation {
+	return Perturbation{PosDeg: 0.5, DeltaPsFrac: 0.15, RadiusFrac: 0.10}
+}
+
+// Apply returns base with this envelope's perturbations drawn from seed.
+// The draw order is fixed (lon, lat, deficit, radius), so a given (envelope,
+// seed) pair always yields the same SeedConfig — the determinism the
+// ensemble's bit-for-bit member isolation tests pin. A zero envelope returns
+// base unchanged for any seed.
+func (p Perturbation) Apply(base SeedConfig, seed int64) SeedConfig {
+	rng := rand.New(rand.NewSource(seed))
+	sym := func(half float64) float64 {
+		if half == 0 {
+			// Keep the draw order fixed even for zeroed fields, so narrowing
+			// one amplitude does not reshuffle the others' samples.
+			rng.Float64()
+			return 0
+		}
+		return half * (2*rng.Float64() - 1)
+	}
+	out := base
+	out.LonDeg += sym(p.PosDeg)
+	out.LatDeg += sym(p.PosDeg)
+	out.DeltaPs *= 1 + sym(p.DeltaPsFrac)
+	out.RadiusKm *= 1 + sym(p.RadiusFrac)
+	// Clamp to the Seed preconditions: perturbed members must stay seedable.
+	out.DeltaPs = math.Max(out.DeltaPs, 1)
+	out.RadiusKm = math.Max(out.RadiusKm, 1)
+	return out
+}

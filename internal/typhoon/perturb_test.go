@@ -1,0 +1,58 @@
+package typhoon
+
+import (
+	"math"
+	"testing"
+)
+
+// Apply is deterministic in (envelope, seed), distinct across seeds, and
+// stays inside the envelope.
+func TestPerturbationApply(t *testing.T) {
+	base := DoksuriSeed()
+	env := DefaultPerturbation()
+
+	a := env.Apply(base, 3)
+	if b := env.Apply(base, 3); a != b {
+		t.Fatalf("same seed produced different configs: %+v vs %+v", a, b)
+	}
+	if c := env.Apply(base, 4); a == c {
+		t.Fatal("different seeds produced identical configs")
+	}
+
+	for seed := int64(0); seed < 50; seed++ {
+		s := env.Apply(base, seed)
+		if math.Abs(s.LonDeg-base.LonDeg) > env.PosDeg || math.Abs(s.LatDeg-base.LatDeg) > env.PosDeg {
+			t.Fatalf("seed %d: position %+v outside ±%g° of base", seed, s, env.PosDeg)
+		}
+		if f := s.DeltaPs/base.DeltaPs - 1; math.Abs(f) > env.DeltaPsFrac+1e-12 {
+			t.Fatalf("seed %d: deficit fraction %g outside ±%g", seed, f, env.DeltaPsFrac)
+		}
+		if f := s.RadiusKm/base.RadiusKm - 1; math.Abs(f) > env.RadiusFrac+1e-12 {
+			t.Fatalf("seed %d: radius fraction %g outside ±%g", seed, f, env.RadiusFrac)
+		}
+		if s.Moisten != base.Moisten {
+			t.Fatalf("seed %d: Moisten flag changed", seed)
+		}
+	}
+
+	if z := (Perturbation{}).Apply(base, 7); z != base {
+		t.Fatalf("zero envelope changed the seed: %+v", z)
+	}
+}
+
+// Zeroing one amplitude must not reshuffle the other fields' draws.
+func TestPerturbationDrawOrderStable(t *testing.T) {
+	base := DoksuriSeed()
+	full := DefaultPerturbation()
+	noPos := full
+	noPos.PosDeg = 0
+
+	a := full.Apply(base, 11)
+	b := noPos.Apply(base, 11)
+	if b.LonDeg != base.LonDeg || b.LatDeg != base.LatDeg {
+		t.Fatalf("zeroed position still moved: %+v", b)
+	}
+	if a.DeltaPs != b.DeltaPs || a.RadiusKm != b.RadiusKm {
+		t.Fatalf("zeroing position reshuffled intensity/size draws: %+v vs %+v", a, b)
+	}
+}

@@ -180,34 +180,45 @@ func FindCenter(m *atmos.Model, at time.Time, searchKm float64) (Fix, error) {
 // FindCenterNear locates the storm as the minimum surface pressure within
 // windowKm of a previous fix — the standard tracker practice that keeps the
 // tracker locked on the storm when deeper synoptic lows exist elsewhere on
-// the globe.
+// the globe. Valid only when the model's fields are globally live (replicated
+// runs); decomposed runs must assemble global fields collectively and call
+// FindCenterNearFields.
 func FindCenterNear(m *atmos.Model, at time.Time, prev Fix, windowKm, searchKm float64) (Fix, error) {
+	u, v := m.Wind10m()
+	return FindCenterNearFields(m.Mesh, m.Ps, u, v, at, prev, windowKm, searchKm)
+}
+
+// FindCenterNearFields is FindCenterNear on pre-assembled global fields: ps
+// on cells, (u, v) the 10 m wind components on cells. It has no model
+// dependency, so an ensemble driver can gather the globals once (e.g. via
+// core.GlobalAtmPs / core.GlobalWind10m under atmosphere decomposition) and
+// track on rank 0 without touching stale halo cells.
+func FindCenterNearFields(mesh *grid.IcosMesh, ps, u, v []float64, at time.Time, prev Fix, windowKm, searchKm float64) (Fix, error) {
 	pcen := grid.FromLonLat(prev.LonDeg*math.Pi/180, prev.LatDeg*math.Pi/180)
 	window := windowKm * 1000 / grid.EarthRadius
 	best, at2 := math.Inf(1), -1
-	for c := 0; c < m.Mesh.NCells(); c++ {
-		if grid.GreatCircleDist(m.Mesh.CellCenter[c], pcen) > window {
+	for c := 0; c < mesh.NCells(); c++ {
+		if grid.GreatCircleDist(mesh.CellCenter[c], pcen) > window {
 			continue
 		}
-		if m.Ps[c] < best {
-			best, at2 = m.Ps[c], c
+		if ps[c] < best {
+			best, at2 = ps[c], c
 		}
 	}
 	if at2 < 0 {
 		return Fix{}, fmt.Errorf("typhoon: no cells within %v km of previous fix", windowKm)
 	}
-	lon := m.Mesh.LonCell[at2] * 180 / math.Pi
+	lon := mesh.LonCell[at2] * 180 / math.Pi
 	if lon < 0 {
 		lon += 360
 	}
-	lat := m.Mesh.LatCell[at2] * 180 / math.Pi
+	lat := mesh.LatCell[at2] * 180 / math.Pi
 
-	u, v := m.Wind10m()
-	center := m.Mesh.CellCenter[at2]
+	center := mesh.CellCenter[at2]
 	rad := searchKm * 1000 / grid.EarthRadius
 	var wmax float64
-	for i := 0; i < m.Mesh.NCells(); i++ {
-		if grid.GreatCircleDist(m.Mesh.CellCenter[i], center) > rad {
+	for i := 0; i < mesh.NCells(); i++ {
+		if grid.GreatCircleDist(mesh.CellCenter[i], center) > rad {
 			continue
 		}
 		if s := math.Hypot(u[i], v[i]); s > wmax {

@@ -1,12 +1,14 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
 # tests, dedicated race stress laps over the concurrent component
-# schedule and the decomposed atmosphere and ocean, a short fuzz of the
-# restart-file decoder, the coupled conservation-budget gate on four
-# decomposed ranks (conservative remap must close to 1e-10 relative), a
-# two-rank checkpoint/rollback lap through core.RunResilient with an
-# injected mid-run NaN, and the four benchmarks writing BENCH_1.json,
-# BENCH_2.json, BENCH_3.json, and BENCH_4.json at the repo root.
+# schedule, the decomposed atmosphere and ocean, and the multi-world
+# ensemble isolation paths, a short fuzz of the restart-file decoder, the
+# coupled conservation-budget gate on four decomposed ranks (conservative
+# remap must close to 1e-10 relative), a two-rank checkpoint/rollback lap
+# through core.RunResilient with an injected mid-run NaN, a degraded
+# ensemble lap (4 members on 2 rank groups, one member permanently
+# failed, quorum 3/4), and the five benchmarks writing BENCH_1.json
+# through BENCH_5.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -25,6 +27,9 @@ go test -race ./internal/core -run 'TestDecompRankCountInvariance|TestDecompRest
 echo "== decomposed ocean/ice race lap (tripolar halos, serial-parallel equivalence)"
 go test -race ./internal/grid -run 'TestTripolar' -count 1
 go test -race ./internal/ocean ./internal/seaice -run 'TestSerialParallelEquivalence|TestParallelSerialIceAgreement|TestCompactionComposesWithBlockPartition' -count 1
+echo "== ensemble isolation race lap (two concurrent worlds, dispatch alloc audit, shared fault plan)"
+go test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispatchPathDoesNotAllocate' -count 1
+go test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
 echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule, 1e-10)"
@@ -34,6 +39,9 @@ RESTART_DIR="$(mktemp -d)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
   -checkpoint-every 5 -restart-dir "$RESTART_DIR" -faults 'nan@esm.step:21'
 rm -rf "$RESTART_DIR"
+echo "== degraded ensemble lap (4 members, 2 rank groups, 1 permanent failure, quorum 3/4)"
+go run ./cmd/ensemble -members 4 -groups 2 -quorum 3 -attempts 2 -retries 1 \
+  -member-faults '1=nan@esm.step:1:repeat' -expect-completed 3 -expect-quarantined 1
 echo "== bench1"
 go run ./cmd/bench1 -out BENCH_1.json
 echo "== bench2 smoke (schema self-validation)"
@@ -51,3 +59,8 @@ go run ./cmd/bench4 -steps 8 -out /tmp/bench4_smoke.json
 rm -f /tmp/bench4_smoke.json
 echo "== bench4"
 go run ./cmd/bench4 -out BENCH_4.json
+echo "== bench5 smoke (schema self-validation, sub-gate stall)"
+go run ./cmd/bench5 -members 4 -hours 0.25 -stall 200ms -out /tmp/bench5_smoke.json
+rm -f /tmp/bench5_smoke.json
+echo "== bench5"
+go run ./cmd/bench5 -out BENCH_5.json
