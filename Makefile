@@ -1,15 +1,16 @@
 # Developer entry points. `make check` is the full local gate: vet, build,
 # race-enabled tests (including the concurrent-schedule and decomposed-
 # atmosphere/ocean stress laps, plus the multi-world ensemble isolation
-# lap), the restart-decoder fuzz smoke, the conservation-budget gate on
-# four decomposed ranks, the two-rank resilient rollback lap, the degraded
-# ensemble lap (one member permanently failed, quorum 3/4), and the five
-# benchmarks (BENCH_1.json through BENCH_5.json).
+# lap and the compressed-wire lap), the restart-decoder and group-scaled
+# round-trip fuzz smokes, the conservation-budget gate on four decomposed
+# ranks (plus its compressed-wire twin), the two-rank resilient rollback
+# lap, the degraded ensemble lap (one member permanently failed, quorum
+# 3/4), and the six benchmarks (BENCH_1.json through BENCH_6.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 clean
+.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble race-wire fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 bench6 clean
 
 all: check
 
@@ -39,8 +40,13 @@ race-ensemble:
 	$(GO) test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispatchPathDoesNotAllocate' -count 1
 	$(GO) test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
 
+race-wire:
+	$(GO) test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
+	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -wire gs32 -audit-gate 1e-10
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/precision -run '^$$' -fuzz FuzzGroupScaledRoundTrip -fuzztime $(FUZZTIME)
 
 budget:
 	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
@@ -69,7 +75,10 @@ bench4:
 bench5:
 	$(GO) run ./cmd/bench5 -out BENCH_5.json
 
-check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5
+bench6:
+	$(GO) run ./cmd/bench6 -out BENCH_6.json
+
+check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble race-wire fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5 bench6
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json

@@ -40,6 +40,7 @@ func main() {
 	remapName := flag.String("remap", "nn", "air-sea flux remap: nn (nearest-neighbour) or cons (first-order conservative)")
 	audit := flag.Bool("audit", false, "record the per-coupling-interval conservation budget and print the ledger report")
 	auditGate := flag.Float64("audit-gate", 0, "fail if the max relative heat/freshwater residual exceeds this (0 = report only; implies -audit)")
+	wireName := flag.String("wire", "f64", "halo/rearranger wire format: f64 (exact) or gs32 (group-scaled FP32 compression)")
 	flag.Parse()
 
 	cfg, err := core.ConfigForLabel(*label)
@@ -51,6 +52,10 @@ func main() {
 		log.Fatal(err)
 	}
 	remap, err := core.ParseRemap(*remapName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wire, err := par.ParseWireFormat(*wireName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -109,7 +114,8 @@ func main() {
 				core.WithRemap(remap),
 				core.WithAudit(*audit),
 				core.WithAtmDecomp(*atmDecomp),
-				core.WithOcnDecomp(*ocnDecomp))
+				core.WithOcnDecomp(*ocnDecomp),
+				core.WithWireCompression(wire))
 		}
 		e, err := mk()
 		if err != nil {

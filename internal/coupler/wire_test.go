@@ -1,0 +1,138 @@
+package coupler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/par"
+)
+
+// TestRearrangeGS32WithinBudget rearranges the same source under both wire
+// formats: f64 must deliver bit-exact values, gs32 must land within the
+// group-scaled bit-error budget (2⁻²² of the group max) on every delivered
+// element.
+func TestRearrangeGS32WithinBudget(t *testing.T) {
+	const n, p = 240, 4
+	src, _ := OfflineGSMap(blockOwner(n, p), n, p)
+	dst, _ := OfflineGSMap(cyclicOwner(p), n, p)
+	par.Run(p, func(c *par.Comm) {
+		r, err := BuildRouter(c, src, dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mysrc := src.LocalIndices(c.Rank())
+		mydst := dst.LocalIndices(c.Rank())
+		sv, _ := NewAttrVect([]string{"t", "s"}, len(mysrc))
+		for i, gi := range mysrc {
+			sv.MustField("t")[i] = 300 + float64(gi)*0.5
+			sv.MustField("s")[i] = -35 - float64(gi)*0.01
+		}
+		run := func(w par.WireFormat) *AttrVect {
+			r.SetWire(w)
+			dv, _ := NewAttrVect([]string{"t", "s"}, len(mydst))
+			if err := RearrangeInto(c, r, sv, dv, ModeP2P, nil); err != nil {
+				t.Errorf("wire %v: %v", w, err)
+			}
+			return dv
+		}
+		exact := run(par.WireF64)
+		quant := run(par.WireGS32)
+		r.SetWire(par.WireF64)
+		for i, gi := range mydst {
+			if got, want := exact.MustField("t")[i], 300+float64(gi)*0.5; got != want {
+				t.Errorf("f64 t[%d] = %v, want %v", i, got, want)
+				return
+			}
+			for _, f := range []string{"t", "s"} {
+				a, b := exact.MustField(f)[i], quant.MustField(f)[i]
+				budget := (300 + float64(n)) * math.Pow(2, -22)
+				if d := math.Abs(a - b); d > budget {
+					t.Errorf("gs32 %s[%d] off by %v, budget %v", f, i, d, budget)
+					return
+				}
+			}
+		}
+	})
+}
+
+// TestRearrangeGS32Counters checks the compressed-path accounting: the
+// rearrange byte counter reports actual wire bytes (smaller under gs32 by at
+// least the 1.6× bench gate), and the shared cpl.wire.{raw.,}bytes counters
+// carry the raw-vs-wire split the ratio gauge is computed from.
+func TestRearrangeGS32Counters(t *testing.T) {
+	const n, p = 256, 4
+	src, _ := OfflineGSMap(blockOwner(n, p), n, p)
+	dst, _ := OfflineGSMap(cyclicOwner(p), n, p)
+	par.Run(p, func(c *par.Comm) {
+		r, err := BuildRouter(c, src, dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		sv, _ := NewAttrVect([]string{"t", "s", "u"}, len(src.LocalIndices(c.Rank())))
+		dv, _ := NewAttrVect([]string{"t", "s", "u"}, len(dst.LocalIndices(c.Rank())))
+		bytesUnder := func(w par.WireFormat) (rearr, raw, wire int64) {
+			r.SetWire(w)
+			ob := newCountObserver()
+			if err := RearrangeInto(c, r, sv, dv, ModeP2P, ob); err != nil {
+				t.Errorf("wire %v: %v", w, err)
+			}
+			return ob.counts["coupler.rearrange.bytes"], ob.counts["cpl.wire.raw.bytes"], ob.counts["cpl.wire.bytes"]
+		}
+		f64Bytes, f64Raw, f64Wire := bytesUnder(par.WireF64)
+		gsBytes, gsRaw, gsWire := bytesUnder(par.WireGS32)
+		r.SetWire(par.WireF64)
+		if f64Bytes == 0 {
+			t.Error("no traffic recorded under f64")
+			return
+		}
+		if f64Raw != f64Bytes || f64Wire != f64Bytes {
+			t.Errorf("f64: raw/wire %d/%d != rearrange bytes %d", f64Raw, f64Wire, f64Bytes)
+		}
+		if gsWire != gsBytes || gsRaw != f64Bytes {
+			t.Errorf("gs32: raw/wire %d/%d, rearrange bytes %d, f64 bytes %d",
+				gsRaw, gsWire, gsBytes, f64Bytes)
+		}
+		if float64(f64Bytes) < 1.6*float64(gsBytes) {
+			t.Errorf("gs32 rearrange bytes %d vs f64 %d = %.2fx, want ≥ 1.6x",
+				gsBytes, f64Bytes, float64(f64Bytes)/float64(gsBytes))
+		}
+	})
+}
+
+// TestRearrangeGS32ZeroAllocs pins the compressed P2P path to zero
+// steady-state allocations across a real 2-rank exchange: the persistent
+// per-peer encodings and the decode scratch absorb every call after warm-up.
+func TestRearrangeGS32ZeroAllocs(t *testing.T) {
+	const n, runs = 128, 50
+	src, _ := OfflineGSMap(blockOwner(n, 2), n, 2)
+	dst, _ := OfflineGSMap(cyclicOwner(2), n, 2)
+	par.Run(2, func(c *par.Comm) {
+		r, err := BuildRouter(c, src, dst)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		r.SetWire(par.WireGS32)
+		sv, _ := NewAttrVect([]string{"t", "s"}, len(src.LocalIndices(c.Rank())))
+		dv, _ := NewAttrVect([]string{"t", "s"}, len(dst.LocalIndices(c.Rank())))
+		step := func() {
+			if err := RearrangeInto(c, r, sv, dv, ModeP2P, nil); err != nil {
+				t.Error(err)
+			}
+		}
+		step() // warm the pack buffers and encodings
+		if c.Rank() == 0 {
+			allocs := testing.AllocsPerRun(runs, step)
+			if allocs != 0 {
+				t.Errorf("gs32 rearrange allocates %.1f per steady-state call, want 0", allocs)
+			}
+		} else {
+			for i := 0; i < runs+1; i++ {
+				step()
+			}
+		}
+		c.Barrier()
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/par"
+	"repro/internal/precision"
 )
 
 // IcosDecomp is the icosahedral-mesh analogue of the tripolar Block: a
@@ -77,6 +78,16 @@ type IcosDecomp struct {
 	edgeBuf [2][][]float64
 	cellPar int
 	edgePar int
+
+	// Compressed wire format state: persistent per-peer group-scaled
+	// encodings under the same parity discipline as the f64 staging buffers
+	// (the peer has drained parity-p's previous encoding before we re-encode
+	// into it), plus one decode scratch reused across the sequential receive
+	// loop. All lazily grown, zero steady-state allocations.
+	wire   par.WireFormat
+	cellGS [2][]*precision.GroupScaled
+	edgeGS [2][]*precision.GroupScaled
+	rbuf   []float64
 
 	ownedRanges [][2]int // cached single {C0, C1-C0} run for Decomp
 
@@ -273,6 +284,8 @@ func NewIcosDecomp(mesh *IcosMesh, comm *par.Comm) (*IcosDecomp, error) {
 	for pb := 0; pb < 2; pb++ {
 		d.cellBuf[pb] = make([][]float64, len(d.Peers))
 		d.edgeBuf[pb] = make([][]float64, len(d.Peers))
+		d.cellGS[pb] = make([]*precision.GroupScaled, len(d.Peers))
+		d.edgeGS[pb] = make([]*precision.GroupScaled, len(d.Peers))
 	}
 	d.ownedRanges = [][2]int{{d.C0, d.C1 - d.C0}}
 	return d, nil
@@ -330,6 +343,15 @@ func (d *IcosDecomp) NOwned() int { return d.C1 - d.C0 }
 // cpl.atm.halo.* aliases for one release.
 func (d *IcosDecomp) SetObserver(o HaloObserver) { d.obs = o }
 
+// SetWire selects the halo wire format. Under par.WireGS32 every halo
+// message ships as a group-scaled FP32 encoding of the packed staging
+// buffer (≈ 1.94× smaller); the default par.WireF64 is bit-exact. Must not
+// change mid-exchange; the core layer sets it once at assembly.
+func (d *IcosDecomp) SetWire(w par.WireFormat) { d.wire = w }
+
+// Wire returns the active halo wire format.
+func (d *IcosDecomp) Wire() par.WireFormat { return d.wire }
+
 // ExchangeCells fills the ring-1 halo of a cell-centred field with nlev
 // levels laid out [k*nCells + c]: each peer receives this rank's owned
 // boundary cells and contributes the halo cells it owns. Zero steady-state
@@ -337,7 +359,8 @@ func (d *IcosDecomp) SetObserver(o HaloObserver) { d.obs = o }
 // tags).
 func (d *IcosDecomp) ExchangeCells(f []float64, nlev int) {
 	d.cellPar ^= 1
-	d.exchange(f, nlev, d.M.NCells(), tagHaloCells, d.cellSend, d.cellRecv, d.cellBuf[d.cellPar])
+	d.exchange(f, nlev, d.M.NCells(), tagHaloCells, d.cellSend, d.cellRecv,
+		d.cellBuf[d.cellPar], d.cellGS[d.cellPar])
 }
 
 // ExchangeEdges fills the stale extended edges of an edge field with nlev
@@ -346,14 +369,15 @@ func (d *IcosDecomp) ExchangeCells(f []float64, nlev int) {
 // level after the physics' surface-drag projection.
 func (d *IcosDecomp) ExchangeEdges(f []float64, nlev int) {
 	d.edgePar ^= 1
-	d.exchange(f, nlev, d.M.NEdges(), tagHaloEdges, d.edgeSend, d.edgeRecv, d.edgeBuf[d.edgePar])
+	d.exchange(f, nlev, d.M.NEdges(), tagHaloEdges, d.edgeSend, d.edgeRecv,
+		d.edgeBuf[d.edgePar], d.edgeGS[d.edgePar])
 }
 
-func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][]int, bufs [][]float64) {
+func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][]int, bufs [][]float64, gsBufs []*precision.GroupScaled) {
 	if len(f) < nlev*stride {
 		panic(fmt.Sprintf("grid: halo exchange on %d values, want ≥ %d", len(f), nlev*stride))
 	}
-	var bytes int64
+	var rawBytes, wireBytes int64
 	for pi, p := range d.Peers {
 		list := send[pi]
 		need := nlev * len(list)
@@ -370,14 +394,54 @@ func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][
 				out[i] = f[base+idx]
 			}
 		}
-		par.SendF64(d.comm, p, tag, buf)
-		bytes += int64(8 * need)
+		rawBytes += int64(8 * need)
+		if d.wire == par.WireGS32 {
+			gs := gsBufs[pi]
+			if gs == nil {
+				gs = &precision.GroupScaled{}
+				gsBufs[pi] = gs
+			}
+			if err := precision.EncodeGroupScaledInto(gs, buf, par.WireGroup); err != nil {
+				panic(err) // group size is a package constant; unreachable
+			}
+			par.SendGS(d.comm, p, tag, gs)
+			wireBytes += int64(gs.Bytes())
+		} else {
+			par.SendF64(d.comm, p, tag, buf)
+			wireBytes += int64(8 * need)
+		}
 	}
 	for pi, p := range d.Peers {
 		list := recv[pi]
-		msg, _ := par.RecvF64(d.comm, p, tag)
-		if len(msg) != nlev*len(list) {
-			panic(fmt.Sprintf("grid: halo message from rank %d has %d values, want %d", p, len(msg), nlev*len(list)))
+		want := nlev * len(list)
+		var msg []float64
+		if d.wire == par.WireGS32 {
+			gs, _, err := par.RecvGS(d.comm, p, tag)
+			if err != nil {
+				// ExchangeCells cannot return errors (the Decomp contract);
+				// the typed error panics into core's stepChecked recover,
+				// which converts it into a rollback-able step failure.
+				panic(err)
+			}
+			if gs.N != want {
+				panic(fmt.Sprintf("grid: halo message from rank %d has %d values, want %d", p, gs.N, want))
+			}
+			if cap(d.rbuf) < want {
+				d.rbuf = make([]float64, want)
+			}
+			msg = d.rbuf[:want]
+			if err := gs.DecodeInto(msg); err != nil {
+				panic(err)
+			}
+		} else {
+			m, _, err := par.RecvF64E(d.comm, p, tag)
+			if err != nil {
+				panic(err)
+			}
+			if len(m) != want {
+				panic(fmt.Sprintf("grid: halo message from rank %d has %d values, want %d", p, len(m), want))
+			}
+			msg = m
 		}
 		for k := 0; k < nlev; k++ {
 			base := k * stride
@@ -389,11 +453,13 @@ func (d *IcosDecomp) exchange(f []float64, nlev, stride, tag int, send, recv [][
 	}
 	if d.obs != nil && len(d.Peers) > 0 {
 		d.obs.AddCount(ctrHaloMsgsAtm, int64(len(d.Peers)))
-		d.obs.AddCount(ctrHaloBytesAtm, bytes)
+		d.obs.AddCount(ctrHaloBytesAtm, wireBytes)
 		// Deprecated aliases, kept one release: the pre-unification flat
 		// names, so dashboards keyed on cpl.atm.halo.* keep reading.
 		d.obs.AddCount("cpl.atm.halo.msgs", int64(len(d.Peers)))
-		d.obs.AddCount("cpl.atm.halo.bytes", bytes)
+		d.obs.AddCount("cpl.atm.halo.bytes", wireBytes)
+		d.obs.AddCount(ctrWireRawBytes, rawBytes)
+		d.obs.AddCount(ctrWireBytes, wireBytes)
 	}
 }
 
@@ -405,6 +471,16 @@ const (
 	ctrHaloBytesAtm = `cpl.halo.bytes{component="atm"}`
 	ctrHaloMsgsOcn  = `cpl.halo.msgs{component="ocn"}`
 	ctrHaloBytesOcn = `cpl.halo.bytes{component="ocn"}`
+)
+
+// Wire-compression accounting: every compressed-capable path (both halo
+// exchanges, the coupler rearranger) adds the payload size it would have
+// shipped raw to cpl.wire.raw.bytes and the size it actually shipped to
+// cpl.wire.bytes; core's step loop publishes raw/actual as the
+// cpl.wire.ratio gauge. Under WireF64 the two advance in lockstep (ratio 1).
+const (
+	ctrWireRawBytes = "cpl.wire.raw.bytes"
+	ctrWireBytes    = "cpl.wire.bytes"
 )
 
 // rangeInts returns [lo, hi) as a slice.

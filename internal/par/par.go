@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/precision"
 )
 
 // AnyTag matches any message tag in Recv.
@@ -42,6 +43,9 @@ type message struct {
 	// the slice in a typed field instead of `any` keeps the halo-exchange
 	// hot path free of the interface-conversion allocation.
 	f64 []float64
+	// gs is the boxing-free slot for group-scaled compressed payloads
+	// (SendGS/RecvGS) — the WireGS32 format's counterpart of f64.
+	gs *precision.GroupScaled
 }
 
 // mailbox holds undelivered messages for one rank of one communicator.
@@ -307,6 +311,10 @@ func Recv[T any](c *Comm, src int, tag int) (T, Status) {
 		// the slow path, so the typed fast path never pays for it.
 		m.data = m.f64
 	}
+	if m.data == nil && m.gs != nil {
+		// Likewise for a SendGS message read through the generic path.
+		m.data = m.gs
+	}
 	c.countRecv(m.data)
 	v, ok := m.data.(T)
 	if !ok {
@@ -336,21 +344,15 @@ func SendF64(c *Comm, dst int, tag int, data []float64) {
 
 // RecvF64 is Recv specialized to []float64 payloads sent with SendF64: no
 // boxing, no per-call formatting, zero allocations on the receive path. It
-// also accepts a plain Send of a []float64.
+// also accepts a plain Send of a []float64. A payload of any other kind
+// panics with the typed *PayloadTypeError; wire-decode paths use RecvF64E
+// to get the error returned instead.
 func RecvF64(c *Comm, src int, tag int) ([]float64, Status) {
-	c.state.setWaiting(c.rank, "RecvF64")
-	m := c.state.boxes[c.rank].take(src, tag)
-	c.state.clearWaiting(c.rank)
-	v := m.f64
-	if v == nil && m.data != nil {
-		var ok bool
-		v, ok = m.data.([]float64)
-		if !ok {
-			panic(fmt.Sprintf("par: RecvF64 type mismatch from rank %d tag %d: got %T", m.src, m.tag, m.data))
-		}
+	v, st, err := RecvF64E(c, src, tag)
+	if err != nil {
+		panic(err)
 	}
-	c.countP2PF64(&c.stats.RecvMsgs, &c.stats.RecvBytes, "par.recv.msgs", "par.recv.bytes", len(v))
-	return v, Status{Source: m.src, Tag: m.tag}
+	return v, st
 }
 
 // Status describes a received message.

@@ -62,16 +62,32 @@ var maxQuant = math.Nextafter32(2, 0)
 
 // EncodeGroupScaled packs x into a GroupScaled with the given group size.
 func EncodeGroupScaled(x []float64, group int) (*GroupScaled, error) {
+	gs := &GroupScaled{}
+	if err := EncodeGroupScaledInto(gs, x, group); err != nil {
+		return nil, err
+	}
+	return gs, nil
+}
+
+// EncodeGroupScaledInto re-encodes x into gs with the given group size,
+// reusing gs's scale and value storage when its capacity suffices — the
+// steady-state form the compressed wire paths use so that a persistent
+// per-peer GroupScaled performs zero allocations per exchange.
+func EncodeGroupScaledInto(gs *GroupScaled, x []float64, group int) error {
 	if group <= 0 {
-		return nil, fmt.Errorf("precision: group size must be positive, got %d", group)
+		return fmt.Errorf("precision: group size must be positive, got %d", group)
 	}
 	ng := (len(x) + group - 1) / group
-	gs := &GroupScaled{
-		Group:  group,
-		Scales: make([]float64, ng),
-		Vals:   make([]float32, len(x)),
-		N:      len(x),
+	gs.Group = group
+	gs.N = len(x)
+	if cap(gs.Scales) < ng {
+		gs.Scales = make([]float64, ng)
 	}
+	gs.Scales = gs.Scales[:ng]
+	if cap(gs.Vals) < len(x) {
+		gs.Vals = make([]float32, len(x))
+	}
+	gs.Vals = gs.Vals[:len(x)]
 	for g := 0; g < ng; g++ {
 		lo := g * group
 		hi := lo + group
@@ -124,19 +140,56 @@ func EncodeGroupScaled(x []float64, group int) (*GroupScaled, error) {
 			gs.Vals[i] = v
 		}
 	}
-	return gs, nil
+	return nil
 }
 
-// Decode unpacks into dst (allocated if nil) and returns it.
+// ErrShape reports a structurally invalid GroupScaled payload: a destination
+// length that does not match N, or an encoding whose own value/scale tables
+// disagree with its declared shape (a truncated or corrupted wire payload).
+// The wire-decode paths return it instead of panicking, so a faulty peer's
+// message surfaces through the fault-tolerance layer rather than killing the
+// receiving rank.
+type ErrShape struct {
+	Got, Want int
+	What      string // which length disagreed: "dst", "vals", "scales", "group"
+}
+
+// Error implements error.
+func (e *ErrShape) Error() string {
+	return fmt.Sprintf("precision: group-scaled %s length %d, want %d", e.What, e.Got, e.Want)
+}
+
+// DecodeInto unpacks gs into dst, validating every length against the
+// declared shape before touching dst. It is the error-returning form the
+// compressed wire paths use; Decode keeps the historical panicking contract.
+func (gs *GroupScaled) DecodeInto(dst []float64) error {
+	if len(dst) != gs.N {
+		return &ErrShape{Got: len(dst), Want: gs.N, What: "dst"}
+	}
+	if gs.Group <= 0 {
+		return &ErrShape{Got: gs.Group, Want: 1, What: "group"}
+	}
+	if len(gs.Vals) != gs.N {
+		return &ErrShape{Got: len(gs.Vals), Want: gs.N, What: "vals"}
+	}
+	if ng := (gs.N + gs.Group - 1) / gs.Group; len(gs.Scales) != ng {
+		return &ErrShape{Got: len(gs.Scales), Want: ng, What: "scales"}
+	}
+	for i := 0; i < gs.N; i++ {
+		dst[i] = float64(gs.Vals[i]) * gs.Scales[i/gs.Group]
+	}
+	return nil
+}
+
+// Decode unpacks into dst (allocated if nil) and returns it. It panics on a
+// shape mismatch — the in-memory quantization contract, where the caller
+// built the encoding itself; wire receivers use DecodeInto instead.
 func (gs *GroupScaled) Decode(dst []float64) []float64 {
 	if dst == nil {
 		dst = make([]float64, gs.N)
 	}
-	if len(dst) != gs.N {
-		panic(fmt.Sprintf("precision: decode into length %d, want %d", len(dst), gs.N))
-	}
-	for i := 0; i < gs.N; i++ {
-		dst[i] = float64(gs.Vals[i]) * gs.Scales[i/gs.Group]
+	if err := gs.DecodeInto(dst); err != nil {
+		panic(err.Error())
 	}
 	return dst
 }

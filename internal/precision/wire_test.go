@@ -1,0 +1,105 @@
+package precision
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestDecodeIntoShapeErrors(t *testing.T) {
+	gs, err := EncodeGroupScaled([]float64{1, 2, 3, 4, 5}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*GroupScaled)
+		dst    int
+		what   string
+	}{
+		{"short dst", func(*GroupScaled) {}, 3, "dst"},
+		{"long dst", func(*GroupScaled) {}, 7, "dst"},
+		{"truncated vals", func(g *GroupScaled) { g.Vals = g.Vals[:2] }, 5, "vals"},
+		{"truncated scales", func(g *GroupScaled) { g.Scales = g.Scales[:1] }, 5, "scales"},
+		{"zero group", func(g *GroupScaled) { g.Group = 0 }, 5, "group"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := &GroupScaled{
+				Group:  gs.Group,
+				Scales: append([]float64(nil), gs.Scales...),
+				Vals:   append([]float32(nil), gs.Vals...),
+				N:      gs.N,
+			}
+			tc.mutate(g)
+			err := g.DecodeInto(make([]float64, tc.dst))
+			var shape *ErrShape
+			if !errors.As(err, &shape) {
+				t.Fatalf("want *ErrShape, got %v", err)
+			}
+			if shape.What != tc.what {
+				t.Fatalf("ErrShape.What = %q, want %q", shape.What, tc.what)
+			}
+		})
+	}
+	// The intact encoding decodes cleanly through the error-returning form.
+	dst := make([]float64, gs.N)
+	if err := gs.DecodeInto(dst); err != nil {
+		t.Fatalf("valid DecodeInto: %v", err)
+	}
+}
+
+func TestDecodePanicsOnMismatch(t *testing.T) {
+	gs, err := EncodeGroupScaled([]float64{1, 2, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Decode on a short destination did not panic")
+		}
+	}()
+	gs.Decode(make([]float64, 2))
+}
+
+func TestEncodeGroupScaledIntoReusesStorage(t *testing.T) {
+	x := make([]float64, 640)
+	for i := range x {
+		x[i] = math.Sin(float64(i)) * math.Pow(10, float64(i%30-15))
+	}
+	gs := &GroupScaled{}
+	if err := EncodeGroupScaledInto(gs, x, 64); err != nil {
+		t.Fatal(err)
+	}
+	want := gs.Decode(nil)
+
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := EncodeGroupScaledInto(gs, x, 64); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state EncodeGroupScaledInto allocates %.1f/op, want 0", allocs)
+	}
+	got := make([]float64, len(x))
+	if err := gs.DecodeInto(got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("re-encode into reused storage diverged at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+
+	// Shrinking inputs reuse the larger buffers without stale tail reads.
+	if err := EncodeGroupScaledInto(gs, x[:100], 7); err != nil {
+		t.Fatal(err)
+	}
+	if gs.N != 100 || len(gs.Vals) != 100 || len(gs.Scales) != 15 {
+		t.Fatalf("shrunk encode has N=%d vals=%d scales=%d", gs.N, len(gs.Vals), len(gs.Scales))
+	}
+	out := make([]float64, 100)
+	if err := gs.DecodeInto(out); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,14 +1,16 @@
 #!/bin/sh
 # Full local gate, equivalent to `make check`: vet, build, race-enabled
 # tests, dedicated race stress laps over the concurrent component
-# schedule, the decomposed atmosphere and ocean, and the multi-world
-# ensemble isolation paths, a short fuzz of the restart-file decoder, the
-# coupled conservation-budget gate on four decomposed ranks (conservative
-# remap must close to 1e-10 relative), a two-rank checkpoint/rollback lap
+# schedule, the decomposed atmosphere and ocean, the multi-world
+# ensemble isolation paths, and the group-scaled compressed wire format,
+# short fuzzes of the restart-file decoder and the group-scaled encoder
+# round trip, the coupled conservation-budget gate on four decomposed
+# ranks (conservative remap must close to 1e-10 relative) plus its
+# compressed-wire twin on two ranks, a two-rank checkpoint/rollback lap
 # through core.RunResilient with an injected mid-run NaN, a degraded
 # ensemble lap (4 members on 2 rank groups, one member permanently
-# failed, quorum 3/4), and the five benchmarks writing BENCH_1.json
-# through BENCH_5.json at the repo root.
+# failed, quorum 3/4), and the six benchmarks writing BENCH_1.json
+# through BENCH_6.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -30,10 +32,16 @@ go test -race ./internal/ocean ./internal/seaice -run 'TestSerialParallelEquival
 echo "== ensemble isolation race lap (two concurrent worlds, dispatch alloc audit, shared fault plan)"
 go test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispatchPathDoesNotAllocate' -count 1
 go test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
+echo "== compressed wire race lap (gs32 halos + rearrangers, audited)"
+go test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
+echo "== fuzz FuzzGroupScaledRoundTrip ($FUZZTIME)"
+go test ./internal/precision -run '^$' -fuzz FuzzGroupScaledRoundTrip -fuzztime "$FUZZTIME"
 echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule, 1e-10)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
+echo "== compressed wire budget gate (gs32, 2 ranks, conc schedule, 1e-10)"
+go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -wire gs32 -audit-gate 1e-10
 echo "== resilient rollback lap (2 decomposed ranks, checkpoint + injected NaN)"
 RESTART_DIR="$(mktemp -d)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
@@ -64,3 +72,8 @@ go run ./cmd/bench5 -members 4 -hours 0.25 -stall 200ms -out /tmp/bench5_smoke.j
 rm -f /tmp/bench5_smoke.json
 echo "== bench5"
 go run ./cmd/bench5 -out BENCH_5.json
+echo "== bench6 smoke (schema self-validation)"
+go run ./cmd/bench6 -steps 6 -out /tmp/bench6_smoke.json
+rm -f /tmp/bench6_smoke.json
+echo "== bench6"
+go run ./cmd/bench6 -out BENCH_6.json
