@@ -5,12 +5,14 @@
 # round-trip fuzz smokes, the conservation-budget gate on four decomposed
 # ranks (plus its compressed-wire twin), the two-rank resilient rollback
 # lap, the degraded ensemble lap (one member permanently failed, quorum
-# 3/4), and the six benchmarks (BENCH_1.json through BENCH_6.json).
+# 3/4), the serve-race lap (concurrent query storm against a live
+# ingesting forecast store), and the seven benchmarks (BENCH_1.json
+# through BENCH_7.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble race-wire fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 bench6 clean
+.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble race-wire serve-race fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 bench6 bench7 clean
 
 all: check
 
@@ -44,9 +46,14 @@ race-wire:
 	$(GO) test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
 	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -wire gs32 -audit-gate 1e-10
 
+serve-race:
+	$(GO) test -race ./internal/statestore -run 'TestConcurrentQueryStorm|TestAnalogPipelineMatchesBruteForce' -count 1
+	$(GO) test -race ./internal/core -run 'TestServeLiveIngest' -count 1
+
 fuzz:
 	$(GO) test ./internal/pario -run '^$$' -fuzz FuzzReadSubfile -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/precision -run '^$$' -fuzz FuzzGroupScaledRoundTrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/statestore -run '^$$' -fuzz FuzzManifestDecode -fuzztime $(FUZZTIME)
 
 budget:
 	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
@@ -78,7 +85,10 @@ bench5:
 bench6:
 	$(GO) run ./cmd/bench6 -out BENCH_6.json
 
-check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble race-wire fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5 bench6
+bench7:
+	$(GO) run ./cmd/bench7 -out BENCH_7.json
+
+check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble race-wire serve-race fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5 bench6 bench7
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json

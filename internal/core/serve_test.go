@@ -1,0 +1,138 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/par"
+	"repro/internal/precision"
+	"repro/internal/statestore"
+)
+
+// TestServeLiveIngest pins the live-ingest path end to end: a resilient run
+// feeds the forecast store through the OnCheckpoint hook while surviving a
+// corrupt checkpoint and a mid-run NaN. The store must end up with exactly
+// one snapshot per distinct committed step — the checkpoint replayed after
+// the rollback-to-scratch is filtered, not double-ingested — and the stored
+// surface pressure must equal the quantized round trip of a fault-free
+// reference run at the same step (RunResilient recovers bit-for-bit, so the
+// states agree exactly).
+func TestServeLiveIngest(t *testing.T) {
+	const steps = 20
+	days := float64(steps) / 180
+
+	// Fault-free reference: the surface pressure at step 16 (the last
+	// committed checkpoint of the resilient run below).
+	var refPs []float64
+	par.Run(1, func(c *par.Comm) {
+		e, err := mkESM(t, c)()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 16; i++ {
+			e.Step()
+		}
+		snap, ok := e.CaptureServeSnapshot()
+		if !ok {
+			t.Fatal("rank 0 capture returned ok=false")
+		}
+		if len(snap.Fields) != 4 {
+			t.Fatalf("capture has %d fields, want 4 (audit off)", len(snap.Fields))
+		}
+		refPs = snap.Fields[0].Data
+	})
+
+	// The first checkpoint is written with a flipped bit; the NaN at step 12
+	// forces a rollback onto that corrupt set, which falls back to scratch
+	// and replays — re-committing the step-8 checkpoint a second time.
+	plan, err := fault.Parse("bitflip@pario.write:1;nan@esm.step:12", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fault.Arm(plan)
+	defer fault.Disarm()
+
+	storeDir := filepath.Join(t.TempDir(), "store")
+	w, err := statestore.Create(storeDir, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	in := statestore.NewIngester(w, 8, nil)
+
+	ckDir := filepath.Join(t.TempDir(), "ck")
+	par.Run(1, func(c *par.Comm) {
+		_, rep, err := RunResilient(mkESM(t, c), ResilientConfig{
+			Days: days, CheckpointEvery: 8, MaxRetries: 5,
+			Dir: ckDir, Backoff: time.Millisecond,
+			OnCheckpoint: ServeCaptureHook(in),
+		})
+		if err != nil {
+			t.Fatalf("resilient run failed: %v (recoveries %+v)", err, rep.Recoveries)
+		}
+		if len(rep.Recoveries) != 1 {
+			t.Fatalf("expected 1 recovery, got %+v", rep.Recoveries)
+		}
+		if rep.Checkpoints != 3 {
+			t.Fatalf("committed %d checkpoints, want 3 (8, replayed 8, 16)", rep.Checkpoints)
+		}
+	})
+	if err := in.Close(); err != nil {
+		t.Fatalf("ingester: %v", err)
+	}
+	if in.Dropped() != 0 {
+		t.Fatalf("dropped %d snapshots at queue depth 8", in.Dropped())
+	}
+
+	st, err := statestore.Open(storeDir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if st.Snapshots() != 2 {
+		t.Fatalf("store holds %d snapshots, want 2 (steps 8 and 16)", st.Snapshots())
+	}
+	for i, want := range []int{8, 16} {
+		step, sim, err := st.Meta(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if step != want {
+			t.Errorf("snapshot %d at step %d, want %d", i, step, want)
+		}
+		if sim <= 0 {
+			t.Errorf("snapshot %d sim time %v", i, sim)
+		}
+	}
+
+	// Bit-for-bit: the stored step-16 pressure equals the reference state
+	// pushed through the same group-scaled quantizer.
+	gs, err := precision.EncodeGroupScaled(refPs, st.Group())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := gs.Decode(nil)
+	got, err := st.DecodeField(1, statestore.PsField)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("stored field has %d cells, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("ps[%d] = %v, want %v (stored state differs from fault-free reference)", i, got[i], want[i])
+		}
+	}
+
+	// The diagnostics endpoint sees the same store.
+	d, err := st.Diagnostics(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Step != 16 || d.MinPs <= 0 || d.MaxWind < 0 {
+		t.Fatalf("diagnostics = %+v", d)
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 )
 
 // Event is one observability record: a closed span on a rank's timeline or
@@ -178,10 +179,11 @@ func ReadJSONL(path string) ([]Event, error) {
 // snapshots), so Emit is a no-op; an optional HTTP server answers
 // GET /metrics.
 type PromSink struct {
-	mu  sync.Mutex
-	obs []*Obs
-	ln  net.Listener
-	srv *http.Server
+	mu   sync.Mutex
+	obs  []*Obs
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when the serve goroutine exits
 }
 
 // NewPromText returns a render-only Prometheus sink (no HTTP server).
@@ -201,8 +203,14 @@ func NewPromSink(addr string) (*PromSink, error) {
 		p.Render(w)
 	})
 	p.ln = ln
-	p.srv = &http.Server{Handler: mux}
-	go p.srv.Serve(ln)
+	// ReadHeaderTimeout bounds how long a connection may dribble its request
+	// headers — without it a slowloris peer pins goroutines and fds forever.
+	p.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	p.done = make(chan struct{})
+	go func() {
+		defer close(p.done)
+		p.srv.Serve(ln)
+	}()
 	return p, nil
 }
 
@@ -227,12 +235,16 @@ func (p *PromSink) Emit(Event) {}
 // Flush implements Sink.
 func (p *PromSink) Flush() error { return nil }
 
-// Close implements Sink.
+// Close implements Sink. It shuts the HTTP server down and joins the serve
+// goroutine, so when Close returns the listener is released and the port is
+// immediately re-bindable.
 func (p *PromSink) Close() error {
-	if p.srv != nil {
-		return p.srv.Close()
+	if p.srv == nil {
+		return nil
 	}
-	return nil
+	err := p.srv.Close()
+	<-p.done
+	return err
 }
 
 // promName sanitizes a metric name into the Prometheus charset under the

@@ -2,6 +2,7 @@ package obs
 
 import (
 	"io"
+	"net"
 	"net/http"
 	"path/filepath"
 	"strings"
@@ -126,6 +127,37 @@ func TestPromHTTP(t *testing.T) {
 	}
 	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("content type = %q", ct)
+	}
+}
+
+// TestPromCloseReleasesListener pins the shutdown contract: Close joins the
+// serve goroutine, so the port is immediately re-bindable — no leaked
+// listener, no goroutine still accepting on a dead sink. It also checks the
+// server carries a ReadHeaderTimeout (the slowloris guard).
+func TestPromCloseReleasesListener(t *testing.T) {
+	sink, err := NewPromSink("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sink.srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("prom server has no ReadHeaderTimeout (slowloris-able)")
+	}
+	addr := sink.Addr()
+	if err := sink.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	select {
+	case <-sink.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve goroutine still running after Close")
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	ln.Close()
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("GET succeeded against a closed sink")
 	}
 }
 

@@ -72,10 +72,24 @@ func RecvTimeout[T any](c *Comm, src int, tag int, d time.Duration) (T, Status, 
 		return zero, Status{}, err
 	}
 	c.state.clearWaiting(c.rank)
+	if m.data == nil && m.f64 != nil {
+		// A SendF64 message read through the generic path: box it here, on
+		// the slow path, so the typed fast path never pays for it.
+		m.data = m.f64
+	}
+	if m.data == nil && m.gs != nil {
+		// Likewise for a SendGS message read through the generic path.
+		m.data = m.gs
+	}
 	c.countRecv(m.data)
 	v, cast := m.data.(T)
 	if !cast {
-		panic(fmt.Sprintf("par: RecvTimeout type mismatch from rank %d tag %d: got %T", m.src, m.tag, m.data))
+		// RecvTimeout already has an error return for the deadline path, so a
+		// payload mismatch surfaces the same way — the typed *PayloadTypeError
+		// the wire-decode receives return — never a rank-killing panic.
+		var zero T
+		return zero, Status{Source: m.src, Tag: m.tag},
+			&PayloadTypeError{Src: m.src, Tag: m.tag, Got: payloadKind(m), Want: fmt.Sprintf("%T", zero)}
 	}
 	return v, Status{Source: m.src, Tag: m.tag}, nil
 }

@@ -47,6 +47,47 @@ func TestRecvTimeoutDeliversLateMessage(t *testing.T) {
 	})
 }
 
+// TestRecvTimeoutPayloadMismatch injects wrong payload kinds across a 2-rank
+// communicator: RecvTimeout must return the typed *PayloadTypeError — with
+// src, tag, and got/want kinds — instead of dying on a bare type assertion.
+func TestRecvTimeoutPayloadMismatch(t *testing.T) {
+	Run(2, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			// A string where the peer expects []float64, an int where it
+			// expects string, and a typed f64 send read as the wrong type.
+			Send(c, 1, 41, "not a field")
+			Send(c, 1, 42, 12345)
+			SendF64(c, 1, 43, []float64{1, 2})
+		case 1:
+			var pt *PayloadTypeError
+			if _, st, err := RecvTimeout[[]float64](c, 0, 41, time.Second); !errors.As(err, &pt) {
+				t.Errorf("RecvTimeout on string payload: err = %v, want *PayloadTypeError", err)
+			} else {
+				if pt.Src != 0 || pt.Tag != 41 {
+					t.Errorf("PayloadTypeError src/tag = %d/%d, want 0/41", pt.Src, pt.Tag)
+				}
+				if pt.Got != "string" || pt.Want != "[]float64" {
+					t.Errorf("PayloadTypeError got/want = %q/%q", pt.Got, pt.Want)
+				}
+				if st.Source != 0 || st.Tag != 41 {
+					t.Errorf("status = %+v", st)
+				}
+			}
+			if _, _, err := RecvTimeout[string](c, 0, 42, time.Second); !errors.As(err, &pt) {
+				t.Errorf("RecvTimeout on int payload: err = %v, want *PayloadTypeError", err)
+			} else if pt.Got != "int" || pt.Want != "string" {
+				t.Errorf("PayloadTypeError got/want = %q/%q", pt.Got, pt.Want)
+			}
+			// The f64 fast-path message boxes through the generic slow path,
+			// so the right type still succeeds after the mismatches above.
+			if v, _, err := RecvTimeout[[]float64](c, 0, 43, time.Second); err != nil || len(v) != 2 {
+				t.Errorf("RecvTimeout on boxed f64 payload = %v, %v", v, err)
+			}
+		}
+	})
+}
+
 // An injected send stall (lost message) is caught by the receive deadline,
 // and the diagnostic shows every rank blocked at expiry.
 func TestInjectedStallDetected(t *testing.T) {

@@ -26,6 +26,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
 
 	"repro/internal/fault"
 	"repro/internal/par"
@@ -307,7 +308,7 @@ func decodeFile(data []byte) (map[string]int, map[string][]chunk, error) {
 func readFile(path string) (map[string]int, map[string][]chunk, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, nil, fmt.Errorf("pario: %w", err)
+		return nil, nil, fmt.Errorf("pario: reading %s: %w", path, err)
 	}
 	global, chunks, err := decodeFile(data)
 	if err != nil {
@@ -469,10 +470,10 @@ func ReadGlobal(paths []string) (map[string][]float64, error) {
 				for i, v := range c.Data {
 					gi := c.Start + i
 					if gi >= len(out[name]) {
-						return nil, fmt.Errorf("pario: %s chunk exceeds global size", name)
+						return nil, fmt.Errorf("pario: %s chunk exceeds global size (file %s)", name, p)
 					}
 					if filled[name][gi] {
-						return nil, fmt.Errorf("pario: %s element %d written twice", name, gi)
+						return nil, fmt.Errorf("pario: %s element %d written twice (file %s)", name, gi, p)
 					}
 					out[name][gi] = v
 					filled[name][gi] = true
@@ -483,7 +484,7 @@ func ReadGlobal(paths []string) (map[string][]float64, error) {
 	for name, fl := range filled {
 		for i, ok := range fl {
 			if !ok {
-				return nil, fmt.Errorf("pario: %s element %d missing", name, i)
+				return nil, fmt.Errorf("pario: %s element %d missing (files %s)", name, i, strings.Join(paths, ", "))
 			}
 		}
 	}

@@ -1,9 +1,11 @@
 package pario
 
 import (
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -153,6 +155,38 @@ func TestDuplicateChunkDetected(t *testing.T) {
 	// Reading the same file twice duplicates every element.
 	if _, err := ReadGlobal([]string{path, path}); err == nil {
 		t.Error("duplicate chunks accepted")
+	}
+}
+
+// TestReadGlobalErrorsCarryPath pins the message formats of ReadGlobal's
+// error paths: every failure a user can hit while assembling a multi-subfile
+// restart must name the offending file, because "element 37 written twice"
+// alone is useless against a directory of part files.
+func TestReadGlobalErrorsCarryPath(t *testing.T) {
+	dir := t.TempDir()
+	one := filepath.Join(dir, "one.bin")
+	wide := filepath.Join(dir, "wide.bin")
+	par.Run(1, func(c *par.Comm) {
+		WriteSingle(c, one, []Field{{Name: "x", Global: 4, Start: 0, Data: []float64{1, 2, 3, 4}}})
+		WriteSingle(c, wide, []Field{{Name: "x", Global: 8, Start: 4, Data: []float64{5, 6, 7, 8}}})
+	})
+
+	missing := filepath.Join(dir, "nope.bin")
+	if _, err := ReadGlobal([]string{missing}); err == nil || !strings.Contains(err.Error(), "pario: reading "+missing) {
+		t.Errorf("unreadable-file error %q does not name the file", err)
+	}
+	if _, err := ReadGlobal([]string{one, one}); err == nil ||
+		!strings.Contains(err.Error(), fmt.Sprintf("pario: x element 0 written twice (file %s)", one)) {
+		t.Errorf("duplicate-element error %q does not name the file", err)
+	}
+	// one declares global=4, so wide's chunk at [4, 8) lands out of range.
+	if _, err := ReadGlobal([]string{one, wide}); err == nil ||
+		!strings.Contains(err.Error(), fmt.Sprintf("pario: x chunk exceeds global size (file %s)", wide)) {
+		t.Errorf("oversize-chunk error %q does not name the file", err)
+	}
+	if _, err := ReadGlobal([]string{wide}); err == nil ||
+		!strings.Contains(err.Error(), fmt.Sprintf("pario: x element 0 missing (files %s)", wide)) {
+		t.Errorf("missing-element error %q does not list the files read", err)
 	}
 }
 

@@ -1,0 +1,176 @@
+package statestore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Nearest-analog search: given a query state vector, find the k archived
+// snapshots whose compressed state decodes closest to it in L2 distance —
+// the forecast-analog primitive (which past states looked most like this
+// one). The search runs as a staged pipeline in the knnc idiom: a scan
+// stage emits snapshot ids, a fan-out of distance workers decodes each
+// candidate (through the shared cache) and scores it, and a top-k stage
+// merges the scored stream. Distances are computed in float64 over the
+// decoded (dequantized) state in ascending index order, so the concurrent
+// result is bit-identical to a sequential brute-force pass over the same
+// decoded states — concurrency changes only which snapshot is scored when,
+// never the arithmetic.
+
+// Analog is one scored nearest-analog candidate.
+type Analog struct {
+	Snap    int     `json:"snap"`
+	Step    int     `json:"step"`
+	SimTime float64 `json:"sim_time"`
+	Dist    float64 `json:"dist"` // squared L2 distance over the decoded field
+}
+
+// NearestAnalogs returns the k snapshots of field closest to query,
+// ordered by ascending distance with snapshot id breaking ties. workers ≤ 0
+// selects 4. The query must have the field's length.
+func (s *Store) NearestAnalogs(field string, query []float64, k, workers int) ([]Analog, error) {
+	t0 := time.Now()
+	m := s.manifestView()
+	fi, err := fieldIndex(m.Fields, field)
+	if err != nil {
+		return nil, err
+	}
+	if len(query) != m.Fields[fi].Elems {
+		return nil, fmt.Errorf("statestore: analog query has %d elements, field %q has %d",
+			len(query), field, m.Fields[fi].Elems)
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("statestore: analog k must be positive, got %d", k)
+	}
+	if workers <= 0 {
+		workers = 4
+	}
+	n := len(m.Snaps)
+
+	// Stage 1 — scan: emit every committed snapshot id.
+	ids := make(chan int, workers)
+	go func() {
+		for i := 0; i < n; i++ {
+			ids <- i
+		}
+		close(ids)
+	}()
+
+	// Stage 2 — distance: fan-out workers decode and score each candidate.
+	type scored struct {
+		snap int
+		dist float64
+	}
+	out := make(chan scored, workers)
+	var wg sync.WaitGroup
+	var errMu sync.Mutex
+	var firstErr error
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ids {
+				v, err := s.DecodeField(i, field)
+				if err != nil {
+					errMu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					errMu.Unlock()
+					continue
+				}
+				out <- scored{snap: i, dist: l2dist(v, query)}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+
+	// Stage 3 — top-k: keep the k best, deterministic under concurrency
+	// because the final ordering depends only on (dist, snap).
+	best := make([]Analog, 0, k+1)
+	for sc := range out {
+		a := Analog{Snap: sc.snap, Dist: sc.dist}
+		pos := sort.Search(len(best), func(i int) bool {
+			if best[i].Dist != a.Dist {
+				return best[i].Dist > a.Dist
+			}
+			return best[i].Snap > a.Snap
+		})
+		if pos >= k {
+			continue
+		}
+		best = append(best, Analog{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = a
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	for i := range best {
+		step, sim, err := s.Meta(best[i].Snap)
+		if err != nil {
+			return nil, err
+		}
+		best[i].Step, best[i].SimTime = step, sim
+	}
+	count(s.obs, "serve.analog.queries", 1)
+	observe(s.obs, "serve.analog.latency_us", float64(time.Since(t0).Microseconds()))
+	return best, nil
+}
+
+// BruteForceAnalogs is the reference implementation: a sequential scan over
+// every snapshot in index order with the same float64 distance. The
+// pipeline must match it exactly; the benchmark gate and tests pin that.
+func (s *Store) BruteForceAnalogs(field string, query []float64, k int) ([]Analog, error) {
+	m := s.manifestView()
+	fi, err := fieldIndex(m.Fields, field)
+	if err != nil {
+		return nil, err
+	}
+	if len(query) != m.Fields[fi].Elems {
+		return nil, fmt.Errorf("statestore: analog query has %d elements, field %q has %d",
+			len(query), field, m.Fields[fi].Elems)
+	}
+	all := make([]Analog, 0, len(m.Snaps))
+	for i := range m.Snaps {
+		v, err := s.DecodeField(i, field)
+		if err != nil {
+			return nil, err
+		}
+		step, sim, err := s.Meta(i)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, Analog{Snap: i, Step: step, SimTime: sim, Dist: l2dist(v, query)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Dist != all[j].Dist {
+			return all[i].Dist < all[j].Dist
+		}
+		return all[i].Snap < all[j].Snap
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all, nil
+}
+
+// l2dist is the shared distance kernel: squared-difference accumulation in
+// ascending index order (both the pipeline workers and the brute-force
+// reference call exactly this, so their floats agree bit-for-bit).
+func l2dist(a, b []float64) float64 {
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return sum
+}

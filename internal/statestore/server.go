@@ -1,0 +1,208 @@
+package statestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Server is the HTTP query front end over a Store. Every handler is a thin
+// JSON shim over the concurrent query API; the heavy lifting (group-granular
+// decode, cache, analog pipeline) lives in Store, so programmatic consumers
+// can skip HTTP entirely. The server carries a ReadHeaderTimeout (slow
+// clients must not pin handler goroutines) and Close joins the serve
+// goroutine, so a stopped server leaves no listener or goroutine behind.
+type Server struct {
+	st   *Store
+	obs  Observer
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// readHeaderTimeout bounds how long a connection may dribble its request
+// header — the slowloris guard.
+const readHeaderTimeout = 5 * time.Second
+
+// NewServer starts serving st on addr (port 0 picks a free port; Addr
+// reports the bound address). o may be nil.
+func NewServer(st *Store, addr string, o Observer) (*Server, error) {
+	s := &Server{st: st, obs: o, done: make(chan struct{})}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: serve listen: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: readHeaderTimeout}
+	go func() {
+		s.srv.Serve(ln)
+		close(s.done)
+	}()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the listener down and waits for the serve goroutine to exit.
+func (s *Server) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}
+
+// Handler returns the query mux — exposed so tests and embedders can drive
+// the endpoints without a real listener.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/meta", s.instrument("meta", s.handleMeta))
+	mux.HandleFunc("/v1/point", s.instrument("point", s.handlePoint))
+	mux.HandleFunc("/v1/region", s.instrument("region", s.handleRegion))
+	mux.HandleFunc("/v1/analogs", s.instrument("analogs", s.handleAnalogs))
+	mux.HandleFunc("/v1/diag", s.instrument("diag", s.handleDiag))
+	return mux
+}
+
+// instrument wraps a handler with the serve.* request/error/latency
+// telemetry.
+func (s *Server) instrument(name string, h func(*http.Request) (any, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t0 := time.Now()
+		count(s.obs, "serve.http.requests", 1)
+		v, err := h(r)
+		if err != nil {
+			count(s.obs, "serve.http.errors", 1)
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(v)
+		observe(s.obs, "serve.http.latency_us", float64(time.Since(t0).Microseconds()))
+	}
+}
+
+// intParam parses an integer query parameter, with def when absent (def < 0
+// and absent is an error unless allowAbsent).
+func intParam(r *http.Request, name string, def int) (int, error) {
+	raw := r.URL.Query().Get(name)
+	if raw == "" {
+		return def, nil
+	}
+	v, err := strconv.Atoi(raw)
+	if err != nil {
+		return 0, fmt.Errorf("statestore: parameter %s=%q is not an integer", name, raw)
+	}
+	return v, nil
+}
+
+// metaReply is the /v1/meta response.
+type metaReply struct {
+	Snapshots int         `json:"snapshots"`
+	Group     int         `json:"group"`
+	Fields    []FieldInfo `json:"fields"`
+	FirstStep int         `json:"first_step"`
+	LastStep  int         `json:"last_step"`
+}
+
+func (s *Server) handleMeta(*http.Request) (any, error) {
+	// Meta doubles as the liveness probe of a live-ingesting store: refresh
+	// first so the reply reflects the newest committed snapshot.
+	if err := s.st.Refresh(); err != nil {
+		return nil, err
+	}
+	rep := metaReply{Snapshots: s.st.Snapshots(), Group: s.st.Group(), Fields: s.st.Fields()}
+	if rep.Snapshots > 0 {
+		rep.FirstStep, _, _ = s.st.Meta(0)
+		rep.LastStep, _, _ = s.st.Meta(rep.Snapshots - 1)
+	}
+	return rep, nil
+}
+
+func (s *Server) handlePoint(r *http.Request) (any, error) {
+	field := r.URL.Query().Get("field")
+	cell, err := intParam(r, "cell", -1)
+	if err != nil {
+		return nil, err
+	}
+	if field == "" || cell < 0 {
+		return nil, fmt.Errorf("statestore: /v1/point needs field= and cell=")
+	}
+	if snap, err := intParam(r, "snap", -1); err != nil {
+		return nil, err
+	} else if snap >= 0 {
+		v, err := s.st.Point(snap, field, cell)
+		if err != nil {
+			return nil, err
+		}
+		step, sim, err := s.st.Meta(snap)
+		if err != nil {
+			return nil, err
+		}
+		return Sample{Snap: snap, Step: step, SimTime: sim, Value: v}, nil
+	}
+	return s.st.PointSeries(field, cell)
+}
+
+func (s *Server) handleRegion(r *http.Request) (any, error) {
+	field := r.URL.Query().Get("field")
+	lo, err := intParam(r, "lo", -1)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := intParam(r, "hi", -1)
+	if err != nil {
+		return nil, err
+	}
+	if field == "" || lo < 0 || hi < 0 {
+		return nil, fmt.Errorf("statestore: /v1/region needs field=, lo= and hi=")
+	}
+	return s.st.RegionSeries(field, lo, hi)
+}
+
+func (s *Server) handleAnalogs(r *http.Request) (any, error) {
+	field := r.URL.Query().Get("field")
+	snap, err := intParam(r, "snap", -1)
+	if err != nil {
+		return nil, err
+	}
+	k, err := intParam(r, "k", 5)
+	if err != nil {
+		return nil, err
+	}
+	workers, err := intParam(r, "workers", 0)
+	if err != nil {
+		return nil, err
+	}
+	if field == "" || snap < 0 {
+		return nil, fmt.Errorf("statestore: /v1/analogs needs field= and snap= (the query snapshot)")
+	}
+	query, err := s.st.DecodeField(snap, field)
+	if err != nil {
+		return nil, err
+	}
+	return s.st.NearestAnalogs(field, query, k, workers)
+}
+
+func (s *Server) handleDiag(r *http.Request) (any, error) {
+	snap, err := intParam(r, "snap", -1)
+	if err != nil {
+		return nil, err
+	}
+	if snap >= 0 {
+		return s.st.Diagnostics(snap)
+	}
+	// No snap: the whole diagnostic series (min-Ps / max-wind trajectory).
+	n := s.st.Snapshots()
+	out := make([]Diag, 0, n)
+	for i := 0; i < n; i++ {
+		d, err := s.st.Diagnostics(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}

@@ -1,0 +1,146 @@
+package statestore
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// getJSON drives one endpoint through the test server and decodes the body.
+func getJSON(t *testing.T, ts *httptest.Server, path string, out any) {
+	t.Helper()
+	resp, err := ts.Client().Get(ts.URL + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("GET %s: decoding: %v", path, err)
+	}
+}
+
+func TestServerEndpoints(t *testing.T) {
+	dir := buildStore(t, 5, 140, 50)
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv := &Server{st: st}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	var meta metaReply
+	getJSON(t, ts, "/v1/meta", &meta)
+	if meta.Snapshots != 5 || meta.Group != DefaultGroup || len(meta.Fields) != 3 {
+		t.Fatalf("meta = %+v", meta)
+	}
+	if meta.FirstStep != 0 || meta.LastStep != 4 {
+		t.Fatalf("meta steps = %d..%d, want 0..4", meta.FirstStep, meta.LastStep)
+	}
+
+	var series []Sample
+	getJSON(t, ts, fmt.Sprintf("/v1/point?field=%s&cell=3", PsField), &series)
+	if len(series) != 5 {
+		t.Fatalf("point series length %d, want 5", len(series))
+	}
+	want, _ := st.Point(2, PsField, 3)
+	if series[2].Value != want {
+		t.Fatalf("series[2] = %v, want %v", series[2].Value, want)
+	}
+
+	var one Sample
+	getJSON(t, ts, fmt.Sprintf("/v1/point?field=%s&cell=3&snap=2", PsField), &one)
+	if one.Value != want || one.Snap != 2 {
+		t.Fatalf("single-point reply = %+v", one)
+	}
+
+	var region []RegionSample
+	getJSON(t, ts, fmt.Sprintf("/v1/region?field=%s&lo=10&hi=90", WindField), &region)
+	if len(region) != 5 || region[0].Min > region[0].Max {
+		t.Fatalf("region reply = %+v", region[:1])
+	}
+
+	var analogs []Analog
+	getJSON(t, ts, fmt.Sprintf("/v1/analogs?field=%s&snap=1&k=3", PsField), &analogs)
+	if len(analogs) != 3 || analogs[0].Snap != 1 || analogs[0].Dist != 0 {
+		t.Fatalf("analog reply = %+v", analogs)
+	}
+
+	var diag Diag
+	getJSON(t, ts, "/v1/diag?snap=0", &diag)
+	if diag.MinPsCell < 0 || diag.MaxWindCell < 0 {
+		t.Fatalf("diag reply = %+v", diag)
+	}
+	var diags []Diag
+	getJSON(t, ts, "/v1/diag", &diags)
+	if len(diags) != 5 {
+		t.Fatalf("diag series length %d, want 5", len(diags))
+	}
+
+	// Error paths come back as HTTP 400, not hung connections or panics.
+	for _, bad := range []string{
+		"/v1/point?field=no.such&cell=0",
+		"/v1/point?field=" + PsField,
+		"/v1/point?field=" + PsField + "&cell=kaboom",
+		"/v1/region?field=" + PsField + "&lo=50&hi=10",
+		"/v1/analogs?field=" + PsField,
+		"/v1/diag?snap=99",
+	} {
+		resp, err := ts.Client().Get(ts.URL + bad)
+		if err != nil {
+			t.Fatalf("GET %s: %v", bad, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET %s: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestServerCloseReleasesListener pins the shutdown contract the serving
+// layer shares with the Prometheus sink fix: Close joins the serve
+// goroutine and frees the port.
+func TestServerCloseReleasesListener(t *testing.T) {
+	dir := buildStore(t, 2, 64, 16)
+	st, err := Open(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	srv, err := NewServer(st, "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	resp, err := http.Get("http://" + addr + "/v1/meta")
+	if err != nil {
+		t.Fatalf("live GET: %v", err)
+	}
+	resp.Body.Close()
+	if srv.srv.ReadHeaderTimeout <= 0 {
+		t.Fatal("server has no ReadHeaderTimeout (slowloris-able)")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The port must be immediately re-bindable: the listener is gone and the
+	// serve goroutine has exited (Close joined it).
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("rebinding %s after Close: %v", addr, err)
+	}
+	ln.Close()
+	select {
+	case <-srv.done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("serve goroutine still running after Close")
+	}
+}

@@ -1,0 +1,374 @@
+package statestore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Store serves concurrent queries against a store directory through an
+// io.ReaderAt over the data file. All query methods are safe for concurrent
+// use; Refresh may run concurrently with queries (live ingest), swapping in
+// a newer manifest without invalidating the decode cache — committed
+// snapshots are immutable, so cached decodes stay valid forever.
+type Store struct {
+	dir  string
+	obs  Observer
+	data *os.File
+
+	mu  sync.RWMutex
+	man *manifest
+
+	cache *fieldCache
+}
+
+// Open loads the manifest and opens the data file. o may be nil.
+func Open(dir string, o Observer) (*Store, error) {
+	s := &Store{dir: dir, obs: o, cache: newFieldCache(defaultCacheEntries)}
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(filepath.Join(dir, DataFile))
+	if err != nil {
+		return nil, fmt.Errorf("statestore: %w", err)
+	}
+	s.man = man
+	s.data = f
+	return s, nil
+}
+
+func readManifest(dir string) (*manifest, error) {
+	path := filepath.Join(dir, ManifestFile)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("statestore: reading %s: %w", path, err)
+	}
+	man, err := decodeManifest(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (manifest %s)", err, path)
+	}
+	return man, nil
+}
+
+// Refresh re-reads the manifest, picking up snapshots a live Writer has
+// committed since Open (or the last Refresh). The data file handle is
+// shared: committed offsets only ever grow, so readers never see holes.
+func (s *Store) Refresh() error {
+	man, err := readManifest(s.dir)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	// Never move backwards: a torn manifest replaced by an older commit
+	// (impossible under the atomic-rename discipline, but cheap to guard)
+	// must not shrink the index under a concurrent query.
+	if len(man.Snaps) >= len(s.man.Snaps) {
+		s.man = man
+	}
+	s.mu.Unlock()
+	count(s.obs, "serve.refresh", 1)
+	return nil
+}
+
+// manifestView returns the current manifest under the read lock.
+func (s *Store) manifestView() *manifest {
+	s.mu.RLock()
+	m := s.man
+	s.mu.RUnlock()
+	return m
+}
+
+// Snapshots returns the number of committed snapshots visible to queries.
+func (s *Store) Snapshots() int { return len(s.manifestView().Snaps) }
+
+// Group returns the quantization group size of the stored encodings.
+func (s *Store) Group() int { return s.manifestView().Group }
+
+// Fields returns the store schema.
+func (s *Store) Fields() []FieldInfo {
+	m := s.manifestView()
+	return append([]FieldInfo(nil), m.Fields...)
+}
+
+// Meta returns a snapshot's identity.
+func (s *Store) Meta(snap int) (step int, simTime float64, err error) {
+	m := s.manifestView()
+	if snap < 0 || snap >= len(m.Snaps) {
+		return 0, 0, fmt.Errorf("statestore: snapshot %d outside [0, %d)", snap, len(m.Snaps))
+	}
+	return int(m.Snaps[snap].Step), m.Snaps[snap].SimTime, nil
+}
+
+// Close releases the data file handle.
+func (s *Store) Close() error { return s.data.Close() }
+
+// Sample is one snapshot's contribution to a time series.
+type Sample struct {
+	Snap    int     `json:"snap"`
+	Step    int     `json:"step"`
+	SimTime float64 `json:"sim_time"`
+	Value   float64 `json:"value"`
+}
+
+// Point decodes a single cell of a single snapshot — one 8-byte read for
+// the group's scale and one 4-byte read for the quantized value, exactly
+// the group-granular decode the layout was designed for. The decode matches
+// precision.GroupScaled.DecodeInto bit-for-bit.
+func (s *Store) Point(snap int, field string, cell int) (float64, error) {
+	m := s.manifestView()
+	fi, err := fieldIndex(m.Fields, field)
+	if err != nil {
+		return 0, err
+	}
+	if snap < 0 || snap >= len(m.Snaps) {
+		return 0, fmt.Errorf("statestore: snapshot %d outside [0, %d)", snap, len(m.Snaps))
+	}
+	elems := m.Fields[fi].Elems
+	if cell < 0 || cell >= elems {
+		return 0, fmt.Errorf("statestore: cell %d outside field %q [0, %d)", cell, field, elems)
+	}
+	off := m.Snaps[snap].Off[fi]
+	ng := groups(elems, m.Group)
+	var sb [8]byte
+	if _, err := s.data.ReadAt(sb[:], off+int64(8*(cell/m.Group))); err != nil {
+		return 0, fmt.Errorf("statestore: reading %q scale: %w (%w)", field, err, ErrTruncated)
+	}
+	var vb [4]byte
+	if _, err := s.data.ReadAt(vb[:], off+int64(8*ng)+int64(4*cell)); err != nil {
+		return 0, fmt.Errorf("statestore: reading %q value: %w (%w)", field, err, ErrTruncated)
+	}
+	scale := math.Float64frombits(binary.LittleEndian.Uint64(sb[:]))
+	val := math.Float32frombits(binary.LittleEndian.Uint32(vb[:]))
+	count(s.obs, "serve.point.queries", 1)
+	return float64(val) * scale, nil
+}
+
+// PointSeries extracts one cell's value across every snapshot.
+func (s *Store) PointSeries(field string, cell int) ([]Sample, error) {
+	t0 := time.Now()
+	n := s.Snapshots()
+	out := make([]Sample, 0, n)
+	for i := 0; i < n; i++ {
+		v, err := s.Point(i, field, cell)
+		if err != nil {
+			return nil, err
+		}
+		step, sim, err := s.Meta(i)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Sample{Snap: i, Step: step, SimTime: sim, Value: v})
+	}
+	observe(s.obs, "serve.point.latency_us", float64(time.Since(t0).Microseconds()))
+	return out, nil
+}
+
+// RegionSample aggregates a cell range of one snapshot.
+type RegionSample struct {
+	Snap    int     `json:"snap"`
+	Step    int     `json:"step"`
+	SimTime float64 `json:"sim_time"`
+	Min     float64 `json:"min"`
+	Mean    float64 `json:"mean"`
+	Max     float64 `json:"max"`
+}
+
+// RegionSeries aggregates cells [lo, hi) of one field across every
+// snapshot, decoding only the quantization groups the range touches.
+func (s *Store) RegionSeries(field string, lo, hi int) ([]RegionSample, error) {
+	t0 := time.Now()
+	m := s.manifestView()
+	fi, err := fieldIndex(m.Fields, field)
+	if err != nil {
+		return nil, err
+	}
+	elems := m.Fields[fi].Elems
+	if lo < 0 || hi > elems || lo >= hi {
+		return nil, fmt.Errorf("statestore: region [%d, %d) outside field %q [0, %d)", lo, hi, field, elems)
+	}
+	g := m.Group
+	ng := groups(elems, g)
+	gLo, gHi := lo/g, (hi-1)/g+1
+	scales := make([]byte, 8*(gHi-gLo))
+	vals := make([]byte, 4*(hi-lo))
+	out := make([]RegionSample, 0, len(m.Snaps))
+	for i, sm := range m.Snaps {
+		off := sm.Off[fi]
+		if _, err := s.data.ReadAt(scales, off+int64(8*gLo)); err != nil {
+			return nil, fmt.Errorf("statestore: reading %q scales: %w (%w)", field, err, ErrTruncated)
+		}
+		if _, err := s.data.ReadAt(vals, off+int64(8*ng)+int64(4*lo)); err != nil {
+			return nil, fmt.Errorf("statestore: reading %q values: %w (%w)", field, err, ErrTruncated)
+		}
+		rs := RegionSample{Snap: i, Step: int(sm.Step), SimTime: sm.SimTime, Min: math.Inf(1), Max: math.Inf(-1)}
+		var sum float64
+		for c := lo; c < hi; c++ {
+			scale := math.Float64frombits(binary.LittleEndian.Uint64(scales[8*(c/g-gLo):]))
+			v := float64(math.Float32frombits(binary.LittleEndian.Uint32(vals[4*(c-lo):]))) * scale
+			sum += v
+			if v < rs.Min {
+				rs.Min = v
+			}
+			if v > rs.Max {
+				rs.Max = v
+			}
+		}
+		rs.Mean = sum / float64(hi-lo)
+		out = append(out, rs)
+	}
+	count(s.obs, "serve.region.queries", 1)
+	observe(s.obs, "serve.region.latency_us", float64(time.Since(t0).Microseconds()))
+	return out, nil
+}
+
+// DecodeField decodes one whole field of one snapshot, verifying its CRC32C,
+// through the store's bounded decode cache. The returned slice is shared
+// with the cache: callers must not mutate it.
+func (s *Store) DecodeField(snap int, field string) ([]float64, error) {
+	m := s.manifestView()
+	fi, err := fieldIndex(m.Fields, field)
+	if err != nil {
+		return nil, err
+	}
+	if snap < 0 || snap >= len(m.Snaps) {
+		return nil, fmt.Errorf("statestore: snapshot %d outside [0, %d)", snap, len(m.Snaps))
+	}
+	if v, ok := s.cache.get(snap, fi); ok {
+		count(s.obs, "serve.cache.hits", 1)
+		return v, nil
+	}
+	count(s.obs, "serve.cache.misses", 1)
+	elems := m.Fields[fi].Elems
+	g := m.Group
+	ng := groups(elems, g)
+	blob := make([]byte, blobLen(elems, g))
+	off := m.Snaps[snap].Off[fi]
+	if _, err := s.data.ReadAt(blob, off); err != nil {
+		return nil, fmt.Errorf("statestore: reading %q of snapshot %d: %w (%w)", field, snap, err, ErrTruncated)
+	}
+	if got := crc32.Checksum(blob, crcTable); got != m.Snaps[snap].CRC[fi] {
+		return nil, fmt.Errorf("statestore: %q of snapshot %d checksum %#x, manifest says %#x: %w",
+			field, snap, got, m.Snaps[snap].CRC[fi], ErrCorrupt)
+	}
+	out := make([]float64, elems)
+	for c := 0; c < elems; c++ {
+		scale := math.Float64frombits(binary.LittleEndian.Uint64(blob[8*(c/g):]))
+		v := math.Float32frombits(binary.LittleEndian.Uint32(blob[8*ng+4*c:]))
+		out[c] = float64(v) * scale
+	}
+	s.cache.put(snap, fi, out)
+	return out, nil
+}
+
+// defaultCacheEntries bounds the decode cache: full-field decodes are the
+// expensive queries (analog search, diagnostics), and 256 entries of the
+// largest runnable fields stay well under 100 MB.
+const defaultCacheEntries = 256
+
+// fieldCache is a bounded concurrent map of decoded fields keyed by
+// (snapshot, field index). Eviction discards an arbitrary entry — committed
+// snapshots are immutable, so any policy is correct, and the serving mix
+// (scans touch every snapshot once per query) defeats recency anyway.
+type fieldCache struct {
+	mu      sync.RWMutex
+	max     int
+	entries map[[2]int][]float64
+}
+
+func newFieldCache(max int) *fieldCache {
+	return &fieldCache{max: max, entries: make(map[[2]int][]float64)}
+}
+
+func (c *fieldCache) get(snap, field int) ([]float64, bool) {
+	c.mu.RLock()
+	v, ok := c.entries[[2]int{snap, field}]
+	c.mu.RUnlock()
+	return v, ok
+}
+
+func (c *fieldCache) put(snap, field int, v []float64) {
+	c.mu.Lock()
+	if len(c.entries) >= c.max {
+		for k := range c.entries {
+			delete(c.entries, k)
+			break
+		}
+	}
+	c.entries[[2]int{snap, field}] = v
+	c.mu.Unlock()
+}
+
+// Diag is the derived-diagnostic record of one snapshot: the minimum
+// surface pressure and maximum 10 m wind with their cells (the typhoon
+// intensity proxies of Fig 6), plus the conservation-audit residuals when
+// the capture recorded them.
+type Diag struct {
+	Snap        int     `json:"snap"`
+	Step        int     `json:"step"`
+	SimTime     float64 `json:"sim_time"`
+	MinPs       float64 `json:"min_ps"`
+	MinPsCell   int     `json:"min_ps_cell"`
+	MaxWind     float64 `json:"max_wind"`
+	MaxWindCell int     `json:"max_wind_cell"`
+	HeatResid   float64 `json:"heat_resid"`
+	FWResid     float64 `json:"fw_resid"`
+}
+
+// Diagnostic field names the capture path uses. PsField and WindField are
+// required for Diagnostics; the residual fields are optional.
+const (
+	PsField        = "atm.ps"
+	WindField      = "atm.wind10m"
+	SSTField       = "ocn.sst"
+	IceField       = "ice.conc"
+	HeatResidField = "budget.heat_resid"
+	FWResidField   = "budget.fw_resid"
+)
+
+// Diagnostics derives one snapshot's serving diagnostics from the decoded
+// state.
+func (s *Store) Diagnostics(snap int) (Diag, error) {
+	t0 := time.Now()
+	step, sim, err := s.Meta(snap)
+	if err != nil {
+		return Diag{}, err
+	}
+	d := Diag{Snap: snap, Step: step, SimTime: sim}
+	ps, err := s.DecodeField(snap, PsField)
+	if err != nil {
+		return Diag{}, err
+	}
+	d.MinPs, d.MinPsCell = math.Inf(1), -1
+	for c, v := range ps {
+		if v < d.MinPs {
+			d.MinPs, d.MinPsCell = v, c
+		}
+	}
+	wind, err := s.DecodeField(snap, WindField)
+	if err != nil {
+		return Diag{}, err
+	}
+	d.MaxWind, d.MaxWindCell = math.Inf(-1), -1
+	for c, v := range wind {
+		if v > d.MaxWind {
+			d.MaxWind, d.MaxWindCell = v, c
+		}
+	}
+	if _, err := fieldIndex(s.manifestView().Fields, HeatResidField); err == nil {
+		if hr, err := s.DecodeField(snap, HeatResidField); err == nil && len(hr) > 0 {
+			d.HeatResid = hr[0]
+		}
+		if fw, err := s.DecodeField(snap, FWResidField); err == nil && len(fw) > 0 {
+			d.FWResid = fw[0]
+		}
+	}
+	count(s.obs, "serve.diag.queries", 1)
+	observe(s.obs, "serve.diag.latency_us", float64(time.Since(t0).Microseconds()))
+	return d, nil
+}

@@ -9,8 +9,10 @@
 # compressed-wire twin on two ranks, a two-rank checkpoint/rollback lap
 # through core.RunResilient with an injected mid-run NaN, a degraded
 # ensemble lap (4 members on 2 rank groups, one member permanently
-# failed, quorum 3/4), and the six benchmarks writing BENCH_1.json
-# through BENCH_6.json at the repo root.
+# failed, quorum 3/4), a serve-race lap storming the forecast store's
+# query paths while it ingests live, a short fuzz of the store's manifest
+# decoder, and the seven benchmarks writing BENCH_1.json through
+# BENCH_7.json at the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -34,10 +36,15 @@ go test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispat
 go test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
 echo "== compressed wire race lap (gs32 halos + rearrangers, audited)"
 go test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
+echo "== serve race lap (concurrent query storm against a live ingesting store)"
+go test -race ./internal/statestore -run 'TestConcurrentQueryStorm|TestAnalogPipelineMatchesBruteForce' -count 1
+go test -race ./internal/core -run 'TestServeLiveIngest' -count 1
 echo "== fuzz FuzzReadSubfile ($FUZZTIME)"
 go test ./internal/pario -run '^$' -fuzz FuzzReadSubfile -fuzztime "$FUZZTIME"
 echo "== fuzz FuzzGroupScaledRoundTrip ($FUZZTIME)"
 go test ./internal/precision -run '^$' -fuzz FuzzGroupScaledRoundTrip -fuzztime "$FUZZTIME"
+echo "== fuzz FuzzManifestDecode ($FUZZTIME)"
+go test ./internal/statestore -run '^$' -fuzz FuzzManifestDecode -fuzztime "$FUZZTIME"
 echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule, 1e-10)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
 echo "== compressed wire budget gate (gs32, 2 ranks, conc schedule, 1e-10)"
@@ -77,3 +84,8 @@ go run ./cmd/bench6 -steps 6 -out /tmp/bench6_smoke.json
 rm -f /tmp/bench6_smoke.json
 echo "== bench6"
 go run ./cmd/bench6 -out BENCH_6.json
+echo "== bench7 smoke (schema self-validation, QPS + analog gates)"
+go run ./cmd/bench7 -steps 10 -snapshots 12 -queries 1200 -out /tmp/bench7_smoke.json
+rm -f /tmp/bench7_smoke.json
+echo "== bench7"
+go run ./cmd/bench7 -out BENCH_7.json
