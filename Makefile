@@ -6,13 +6,14 @@
 # ranks (plus its compressed-wire twin), the two-rank resilient rollback
 # lap, the degraded ensemble lap (one member permanently failed, quorum
 # 3/4), the serve-race lap (concurrent query storm against a live
-# ingesting forecast store), and the seven benchmarks (BENCH_1.json
-# through BENCH_7.json).
+# ingesting forecast store), the mixed-kernel-precision race lap plus its
+# audited CLI gate, and the eight benchmarks (BENCH_1.json through
+# BENCH_8.json).
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble race-wire serve-race fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 bench6 bench7 clean
+.PHONY: all build vet test race race-conc race-decomp race-ocn-decomp race-ensemble race-wire race-kernels serve-race fuzz budget resilient ensemble check bench bench2 bench3 bench4 bench5 bench6 bench7 bench8 clean
 
 all: check
 
@@ -45,6 +46,10 @@ race-ensemble:
 race-wire:
 	$(GO) test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
 	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -wire gs32 -audit-gate 1e-10
+
+race-kernels:
+	$(GO) test -race ./internal/core -run 'TestKernelPrecisionMixedConservationAudit' -count 1 -short
+	$(GO) run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -kprec mixed -audit-gate 1e-10
 
 serve-race:
 	$(GO) test -race ./internal/statestore -run 'TestConcurrentQueryStorm|TestAnalogPipelineMatchesBruteForce' -count 1
@@ -88,7 +93,10 @@ bench6:
 bench7:
 	$(GO) run ./cmd/bench7 -out BENCH_7.json
 
-check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble race-wire serve-race fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5 bench6 bench7
+bench8:
+	$(GO) run ./cmd/bench8 -out BENCH_8.json
+
+check: vet build race race-conc race-decomp race-ocn-decomp race-ensemble race-wire race-kernels serve-race fuzz budget resilient ensemble bench bench2 bench3 bench4 bench5 bench6 bench7 bench8
 
 clean:
-	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json
+	rm -f BENCH_1.json BENCH_2.json BENCH_3.json BENCH_4.json BENCH_5.json BENCH_6.json BENCH_7.json BENCH_8.json

@@ -41,6 +41,7 @@ func main() {
 	audit := flag.Bool("audit", false, "record the per-coupling-interval conservation budget and print the ledger report")
 	auditGate := flag.Float64("audit-gate", 0, "fail if the max relative heat/freshwater residual exceeds this (0 = report only; implies -audit)")
 	wireName := flag.String("wire", "f64", "halo/rearranger wire format: f64 (exact) or gs32 (group-scaled FP32 compression)")
+	kprecName := flag.String("kprec", "f64", "kernel precision: f64 (bit-for-bit) or mixed (float32 vectorized kernels, float64 accumulations)")
 	flag.Parse()
 
 	cfg, err := core.ConfigForLabel(*label)
@@ -56,6 +57,10 @@ func main() {
 		log.Fatal(err)
 	}
 	wire, err := par.ParseWireFormat(*wireName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	kprec, err := pp.ParsePrec(*kprecName)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -91,9 +96,9 @@ func main() {
 	start := time.Date(2023, 7, 21, 0, 0, 0, 0, time.UTC)
 	stop := start.Add(time.Duration(*days*24) * time.Hour)
 
-	fmt.Printf("AP3ESM %s (stands for %d km atm / %d km ocn): atm icos level %d, ocean %dx%dx%d, %d ranks, %s backend, %v, %s schedule\n",
+	fmt.Printf("AP3ESM %s (stands for %d km atm / %d km ocn): atm icos level %d, ocean %dx%dx%d, %d ranks, %s backend, %v, %s schedule, %s kernels\n",
 		cfg.Label, cfg.PaperAtmKm, cfg.PaperOcnKm, cfg.AtmLevel,
-		cfg.OcnNX, cfg.OcnNY, cfg.OcnNLev, *ranks, sp.Name(), cfg.Policy, sched)
+		cfg.OcnNX, cfg.OcnNY, cfg.OcnNLev, *ranks, sp.Name(), cfg.Policy, sched, kprec)
 
 	par.Run(*ranks, func(c *par.Comm) {
 		var observer obs.Observer = obs.Nop{}
@@ -115,7 +120,8 @@ func main() {
 				core.WithAudit(*audit),
 				core.WithAtmDecomp(*atmDecomp),
 				core.WithOcnDecomp(*ocnDecomp),
-				core.WithWireCompression(wire))
+				core.WithWireCompression(wire),
+				core.WithKernelPrecision(kprec))
 		}
 		e, err := mk()
 		if err != nil {

@@ -98,6 +98,8 @@ type Model struct {
 	flux    *accFlux
 	steps   int
 	dec     *grid.IcosDecomp
+	kprec   pp.Prec // kernel precision, derived from the execution space
+	dy      *dyScratch
 }
 
 // SetDecomp switches the model to decomposed stepping: every sweep covers
@@ -190,7 +192,7 @@ func New(level, nlev int, cfg Config, sp pp.Space) (*Model, error) {
 	if sp == nil {
 		sp = pp.Serial{}
 	}
-	m := &Model{Mesh: mesh, Cfg: cfg, Sp: sp, NLev: nlev}
+	m := &Model{Mesh: mesh, Cfg: cfg, Sp: sp, NLev: nlev, kprec: pp.PrecOf(sp)}
 
 	// Sigma layers: uniform interfaces from σ=0.05 (model top) to 1.
 	m.Sig = make([]float64, nlev)

@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/grid"
+	"repro/internal/pp"
 	"repro/internal/precision"
 )
 
@@ -116,6 +117,12 @@ func (m *Model) RestoreState(steps int, edge, dps []float64) {
 	}
 }
 
+// dynamicsSubstep is the thin driver over the registered kernels in
+// kernels.go: it refreshes the float64 thermodynamic diagnostics, launches
+// the cell/vertex/edge kernels at the configured precision, and keeps the
+// continuity update (exact conservation) in float64. The float64 path is
+// bit-for-bit the pre-refactor sweep; the mixed path runs the same kernel
+// bodies at float32 with the sensitive differences still formed in float64.
 func (m *Model) dynamicsSubstep(dt float64) {
 	mesh := m.Mesh
 	nc, ne := mesh.NCells(), mesh.NEdges()
@@ -128,12 +135,14 @@ func (m *Model) dynamicsSubstep(dt float64) {
 			dps:  make([]float64, nc),
 		}
 	}
+	s := m.dyEnsure()
+	s.eg.bindStep(dt, m.Cfg.Div4, m.Cfg.KhMomentum)
 
 	// --- Diagnostics needed by the momentum equation ---
 
-	// Virtual temperature and geopotential at full levels.
-	tv := make([]float64, nlev*nc)
-	phi := make([]float64, nlev*nc)
+	// Virtual temperature and geopotential at full levels — the Log-based
+	// vertical integral stays float64 at every kernel precision.
+	tv, phi := s.tv, s.phi
 	m.forExtCells(func(c int) {
 		below := 0.0 // geopotential at the interface below the current layer
 		for k := nlev - 1; k >= 0; k-- {
@@ -145,71 +154,49 @@ func (m *Model) dynamicsSubstep(dt float64) {
 			below += Rd * tv[i] * math.Log(sBot/sTop)
 		}
 	})
+	// Per-cell ln(ps), hoisted out of the per-edge momentum loop: the same
+	// math.Log on the same input, so every edge reads identical bits.
+	lnPs := s.lnPs
+	m.forExtCells(func(c int) { lnPs[c] = math.Log(m.Ps[c]) })
 
-	// Kinetic energy and reconstructed velocity at cells, divergence per
-	// level, vorticity at vertices.
-	ke := make([]float64, nlev*nc)
-	div := make([]float64, nlev*nc)
-	vort := make([]float64, nlev*mesh.NVertices())
-	m.forExtCells(func(c int) {
-		for k := 0; k < nlev; k++ {
-			uLvl := m.U[k*ne : (k+1)*ne]
-			vec := m.recon.CellVector(uLvl, c)
-			ke[k*nc+c] = 0.5 * vec.Dot(vec)
-			var d float64
-			for j, e := range mesh.EdgesOnCell[c] {
-				d += float64(mesh.EdgeSignOnCell[c][j]) * uLvl[e] * mesh.Dv[e] * re
-			}
-			div[k*nc+c] = d / (mesh.AreaCell[c] * re * re)
+	// --- Cell diagnostics, vorticity, momentum: registered kernels ---
+	var cells, verts, edges []int
+	if m.dec != nil {
+		cells, verts, edges = m.dec.ExtCells, m.dec.CompVerts, m.dec.CompEdges
+	}
+	if m.kprec == pp.PrecMixed {
+		m32 := s.m32
+		pp.Convert32(m32.u, m.U)
+		for i := range m32.newU {
+			m32.newU[i] = 0
 		}
-	})
-	nv := mesh.NVertices()
-	m.forCompVerts(func(v int) {
-		for k := 0; k < nlev; k++ {
-			uLvl := m.U[k*ne : (k+1)*ne]
-			var circ float64
-			for j := 0; j < 3; j++ {
-				e := mesh.EdgesOnVertex[v][j]
-				circ += float64(mesh.EdgeSignOnVtx[v][j]) * uLvl[e] * mesh.Dc[e] * re
-			}
-			vort[k*nv+v] = circ / (mesh.AreaDual[v] * re * re)
+		m32.bKeDiv.cells = cells
+		pp.Kernels.MustLaunch(hAtmKeDiv, m.Sp, m32.bKeDiv)
+		m32.bVort.verts = verts
+		pp.Kernels.MustLaunch(hAtmVort, m.Sp, m32.bVort)
+		m32.bMom.edges = edges
+		pp.Kernels.MustLaunch(hAtmMomentum, m.Sp, m32.bMom)
+	} else {
+		for i := range s.newU {
+			s.newU[i] = 0
 		}
-	})
-
-	// --- Momentum update ---
-	newU := make([]float64, len(m.U))
-	m.forCompEdges(func(e int) {
-		c1, c2 := mesh.CellsOnEdge[e][0], mesh.CellsOnEdge[e][1]
-		v1, v2 := mesh.VerticesOnEdge[e][0], mesh.VerticesOnEdge[e][1]
-		dcm := mesh.Dc[e] * re
-		dvm := mesh.Dv[e] * re
-		lonE, latE := grid.LonLat(mesh.EdgeMidpoint[e])
-		_ = lonE
-		f := 2 * 7.292e-5 * math.Sin(latE)
-		lnps1, lnps2 := math.Log(m.Ps[c1]), math.Log(m.Ps[c2])
-		for k := 0; k < nlev; k++ {
-			i := k*ne + e
-			uLvl := m.U[k*ne : (k+1)*ne]
-			ut := m.recon.TangentAtEdge(uLvl, e)
-			eta := f + 0.5*(vort[k*nv+v1]+vort[k*nv+v2])
-			du := eta * ut
-			du -= (ke[k*nc+c2] - ke[k*nc+c1] + phi[k*nc+c2] - phi[k*nc+c1]) / dcm
-			tvb := 0.5 * (tv[k*nc+c1] + tv[k*nc+c2])
-			du -= Rd * tvb * (lnps2 - lnps1) / dcm
-			// Divergence damping, scaled to the local cell size.
-			du += m.Cfg.Div4 * dcm * dcm / dt * (div[k*nc+c2] - div[k*nc+c1]) / dcm
-			// Vector Laplacian viscosity: ∇(div) − ∇×(vort).
-			lap := (div[k*nc+c2]-div[k*nc+c1])/dcm - (vort[k*nv+v2]-vort[k*nv+v1])/dvm
-			du += m.Cfg.KhMomentum * lap
-			newU[i] = m.U[i] + dt*du
-		}
-	})
+		s.bKeDiv.u, s.bKeDiv.cells = m.U, cells
+		pp.Kernels.MustLaunch(hAtmKeDiv, m.Sp, s.bKeDiv)
+		s.bVort.u, s.bVort.verts = m.U, verts
+		pp.Kernels.MustLaunch(hAtmVort, m.Sp, s.bVort)
+		s.bMom.u, s.bMom.newU, s.bMom.edges = m.U, s.newU, edges
+		pp.Kernels.MustLaunch(hAtmMomentum, m.Sp, s.bMom)
+		s.bKeDiv.u, s.bVort.u, s.bMom.u, s.bMom.newU = nil, nil, nil, nil
+	}
 
 	// --- Continuity: per-level mass fluxes and surface pressure ---
 	// Mass per area of layer k is ps·Δσ_k/g; the flux through an edge uses
 	// upwind ps, evaluated with the *pre-update* velocity for consistency
 	// with the accumulated tracer fluxes.
-	dpsDt := make([]float64, nc)
+	dpsDt := s.dpsDt
+	for i := range dpsDt {
+		dpsDt[i] = 0
+	}
 	m.forOwnedCells(func(c int) {
 		var sum float64
 		for k := 0; k < nlev; k++ {
@@ -250,7 +237,14 @@ func (m *Model) dynamicsSubstep(dt float64) {
 		m.Ps[c] += dt * dpsDt[c]
 		m.flux.dps[c] += dt * dpsDt[c]
 	})
-	m.U = newU
+	// Publish the momentum update. The float64 path swaps the persistent
+	// scratch in (the retired array becomes next substep's scratch); the
+	// mixed path widens the float32 result back into the model state.
+	if m.kprec == pp.PrecMixed {
+		pp.Convert64(m.U, s.m32.newU)
+	} else {
+		m.U, s.newU = s.newU, m.U
+	}
 	if m.dec != nil {
 		// Halo barrier: refresh Ps on the ring-1 halo and U on the extended
 		// edges the neighbours own, so the next substep's stencils read the

@@ -1,6 +1,11 @@
 package atmos
 
-import "math"
+import (
+	"math"
+	"sync"
+
+	"repro/internal/pp"
+)
 
 // ColumnIn is the physics–dynamics coupling interface input (§5.2.1): the
 // AI tendency module takes horizontal wind, temperature, specific humidity,
@@ -67,6 +72,13 @@ type ConventionalSuite struct {
 	// on its retained conventional diagnostic module, because the AI
 	// radiation module replaces exactly that computation (§5.2.1).
 	DisableRadiation bool
+
+	// Cached per-g-point absorption coefficients, rebuilt when the g-point
+	// counts change. Columns run concurrently under ParallelFor, so the
+	// lazy build is mutex-guarded; after the first column it is a
+	// check-and-return.
+	kMu      sync.Mutex
+	swK, lwK []float64
 }
 
 // NewConventionalSuite returns the suite with standard coefficients.
@@ -193,50 +205,40 @@ func (s *ConventionalSuite) Column(in ColumnIn, dt float64, out *ColumnOut) {
 // window g-points carry flux to the surface — the structure real k-
 // distribution radiation codes (RRTMG) have, at the same per-column cost
 // scale.
+// The sweep itself is the single-source twoStreamRad body in kernels.go:
+// the float64 instantiation reproduces the historical arithmetic bit-for-
+// bit (the g-point coefficient tables are hoisted out of the column loop,
+// but each table entry is the identical expression the loop computed); the
+// float32 instantiation is the mixed-precision path, whose win comes from
+// pp.FastExpf replacing the ~1200 math.Exp calls per column that dominate
+// the conventional suite's cost.
 func (s *ConventionalSuite) TwoStreamRadiation(in ColumnIn) (gsw, glw float64) {
 	nlev := len(in.T)
 	m := s.m
 	ps := in.P[nlev-1] / m.Sig[nlev-1]
-
-	// Per-layer absorber path: water vapour mass (kg/m²) plus a small dry
-	// (well-mixed gas) contribution.
-	path := make([]float64, nlev)
-	for k := 0; k < nlev; k++ {
-		lm := ps * m.DSig[k] / Gravity
-		path[k] = in.Q[k]*lm + 1e-4*lm
+	swK, lwK := s.gTables()
+	if m.kprec == pp.PrecMixed {
+		return twoStreamRad[float32](in.Q, in.T, m.DSig, ps, in.CosZ, s.S0, swK, lwK)
 	}
+	return twoStreamRad[float64](in.Q, in.T, m.DSig, ps, in.CosZ, s.S0, swK, lwK)
+}
 
-	// --- Shortwave: direct-beam attenuation per g-point ---
-	if in.CosZ > 0 {
-		mu := in.CosZ
-		ng := s.SWGPoints
-		var down float64
-		for g := 0; g < ng; g++ {
-			// Log-spaced absorption coefficients from window to saturated.
-			kAbs := 2e-4 * math.Exp(9*float64(g)/float64(ng-1))
-			tau := 0.0
-			for k := 0; k < nlev; k++ {
-				tau += kAbs * path[k]
-			}
-			down += math.Exp(-tau / mu)
+// gTables returns the log-spaced absorption coefficient tables, window to
+// saturated, building them on first use or when the g-point counts change.
+func (s *ConventionalSuite) gTables() (swK, lwK []float64) {
+	s.kMu.Lock()
+	defer s.kMu.Unlock()
+	if len(s.swK) != s.SWGPoints {
+		s.swK = make([]float64, s.SWGPoints)
+		for g := range s.swK {
+			s.swK[g] = 2e-4 * math.Exp(9*float64(g)/float64(s.SWGPoints-1))
 		}
-		gsw = s.S0 * mu * (down / float64(ng)) * (1 - 0.15) // 15% Rayleigh/aerosol loss
 	}
-
-	// --- Longwave: emissivity sweep per g-point, top down ---
-	const sb = 5.67e-8
-	ngl := s.LWGPoints
-	var glwSum float64
-	for g := 0; g < ngl; g++ {
-		kAbs := 5e-4 * math.Exp(8*float64(g)/float64(ngl-1))
-		var d float64 // downward flux of this g-point (normalized weight 1)
-		for k := 0; k < nlev; k++ {
-			trans := math.Exp(-kAbs * path[k] * 1.66) // diffusivity factor
-			planck := sb * in.T[k] * in.T[k] * in.T[k] * in.T[k]
-			d = d*trans + planck*(1-trans)
+	if len(s.lwK) != s.LWGPoints {
+		s.lwK = make([]float64, s.LWGPoints)
+		for g := range s.lwK {
+			s.lwK[g] = 5e-4 * math.Exp(8*float64(g)/float64(s.LWGPoints-1))
 		}
-		glwSum += d
 	}
-	glw = glwSum / float64(ngl)
-	return gsw, glw
+	return s.swK, s.lwK
 }

@@ -95,13 +95,21 @@ func (c *Compacted) WorkSaving3D() float64 {
 
 // AdvectDiffuse runs the identical tracer kernel over the packed columns
 // only. Results are bit-identical to Ocean.advectDiffuse because the same
-// per-column update runs on the same inputs; land cells hold zeros in both.
-func (c *Compacted) AdvectDiffuse(tr []float64, dt float64, surf func(int) float64) []float64 {
+// per-column update (advectColumn, the single kernel source) runs on the
+// same inputs; land cells hold zeros in both. surf/surfDen are the surface
+// forcing field and its constant denominator, as in advectDiffuse.
+func (c *Compacted) AdvectDiffuse(tr []float64, dt float64, surf []float64, surfDen float64) []float64 {
 	out := make([]float64, len(tr))
 	copy(out, tr)
+	// A private copy of the bound bundle: the packed sweep must not race the
+	// stepping hot path's argument state.
+	a := *c.o.scrEnsure().adv
+	a.tr, a.out, a.dt = tr, out, dt
+	a.u, a.v = c.o.U, c.o.V
+	a.surf, a.surfDen = surf, surfDen
 	c.o.Sp.ParallelFor(len(c.cols), func(i int) {
 		cl := c.cols[i]
-		c.o.updateColumn(tr, out, dt, cl[0], cl[1], surf)
+		advectColumn(&a, cl[0], cl[1])
 	})
 	return out
 }
@@ -109,12 +117,12 @@ func (c *Compacted) AdvectDiffuse(tr []float64, dt float64, surf func(int) float
 // TracerSweepFull runs one full-rectangle tracer sweep on the current
 // state — the pre-optimization kernel, exposed for the §5.2.2 benchmark.
 func (o *Ocean) TracerSweepFull() []float64 {
-	return o.advectDiffuse(o.T, o.Cfg.DtBaroclinic, o.surfaceTForcing)
+	return o.advectDiffuse(o.T, o.Cfg.DtBaroclinic, o.QHeat, o.surfTDen())
 }
 
 // TracerSweepCompact runs the same sweep over packed wet columns only.
 func (o *Ocean) TracerSweepCompact(c *Compacted) []float64 {
-	return c.AdvectDiffuse(o.T, o.Cfg.DtBaroclinic, o.surfaceTForcing)
+	return c.AdvectDiffuse(o.T, o.Cfg.DtBaroclinic, o.QHeat, o.surfTDen())
 }
 
 // --- Rank remapping ---

@@ -98,36 +98,59 @@ type Ocean struct {
 
 	steps int
 
-	// Persistent stepping scratch (lazily built on the first Step) and the
-	// pre-bound row kernels, so steady-state stepping performs zero heap
-	// allocations: double buffers are swapped instead of reallocated, and
-	// the kernels are method values created once rather than per-call
-	// closures.
-	scr                                                              *stepScratch
-	kernMomentum, kernContinuity, kernBtMomentum, kernSplit, kernAdv func(lj int)
+	// kprec is derived from the execution space at New: a pp.Vec space
+	// selects the float32 kernel instantiations (mixed precision), anything
+	// else the bit-for-bit float64 path.
+	kprec pp.Prec
+
+	// Persistent stepping scratch (lazily built on the first Step) holding
+	// the double buffers and the bound kernel argument bundles, so
+	// steady-state stepping performs zero heap allocations: buffers are
+	// swapped instead of reallocated, bundles are built once and their
+	// per-step parameters assigned in place.
+	scr *stepScratch
 }
 
 // stepScratch holds the persistent work arrays of the stepping hot path and
-// the per-sweep kernel parameters the pre-bound kernels read (a closure
-// would capture them, but closures are allocated per call).
+// the kernel argument bundles the drivers bind before each launch. Step
+// parameters live on the bundles as explicit arguments — the struct-scratch
+// side channel (and its aliasing hazard) is gone.
 type stepScratch struct {
 	pr              []float64 // hydrostatic baroclinic pressure
 	u, v            []float64 // 3-D momentum double buffers
 	t, s            []float64 // tracer double buffers
 	eta, ubar, vbar []float64 // barotropic double buffers
-	dt, dtb         float64   // current baroclinic / barotropic step lengths
 
-	surfT, surfS func(c int) float64 // bound surface-forcing closures
+	// Bound float64 kernel argument bundles.
+	mom   *momentumArgs[float64]
+	cont  *continuityArgs[float64]
+	bt    *btMomentumArgs[float64]
+	split *splitArgs
+	adv   *advectArgs
 
-	// advectDiffuseInto sweep parameters, valid for one ParallelFor.
-	advTr, advOut []float64
-	advDt         float64
-	advSurf       func(c int) float64
+	// Float32 mirrors and bundles, built only under mixed precision.
+	m32 *mixed32
 
 	// ex is the reusable halo-batch descriptor slice: each exchange site
 	// rebuilds it in place (the state arrays swap with the double buffers
 	// every step) without allocating.
 	ex []grid.HaloField
+}
+
+// mixed32 is the float32 mirror state of the Vec (mixed-precision) path:
+// the dynamical kernels read and write these, and the drivers convert to
+// and from the float64 model state at phase boundaries (full planes once
+// per phase, H-wide rings inside the barotropic subcycle).
+type mixed32 struct {
+	u, v, newU, newV             []float32
+	eta, newEta                  []float32
+	ubar, vbar, newUbar, newVbar []float32
+	tauX, tauY                   []float32
+	depth                        []float32
+
+	mom  *momentumArgs[float32]
+	cont *continuityArgs[float32]
+	bt   *btMomentumArgs[float32]
 }
 
 // idx2 returns the local 2-D offset of (li, lj) in owned coordinates.
@@ -149,6 +172,7 @@ func New(g *grid.Tripolar, b *grid.TripolarDecomp, cfg Config, sp pp.Space) (*Oc
 		G: g, B: b, Cfg: cfg, Sp: sp,
 		NL:  g.NLevel,
 		LNI: b.LNI(), LNJ: b.LNJ(),
+		kprec: pp.PrecOf(sp),
 	}
 	n2 := o.LNI * o.LNJ
 	n3 := o.NL * n2

@@ -301,8 +301,8 @@ func TestCompactionConsistency(t *testing.T) {
 		o.exchange3D(o.U, true)
 		o.exchange3D(o.V, true)
 
-		full := o.advectDiffuse(o.T, o.Cfg.DtBaroclinic, o.surfaceTForcing)
-		comp := o.Compact().AdvectDiffuse(o.T, o.Cfg.DtBaroclinic, o.surfaceTForcing)
+		full := o.advectDiffuse(o.T, o.Cfg.DtBaroclinic, o.QHeat, o.surfTDen())
+		comp := o.Compact().AdvectDiffuse(o.T, o.Cfg.DtBaroclinic, o.QHeat, o.surfTDen())
 		for i := range full {
 			if full[i] != comp[i] {
 				t.Fatalf("compacted result differs at %d: %v vs %v", i, comp[i], full[i])

@@ -2,6 +2,7 @@ package ocean
 
 import (
 	"repro/internal/grid"
+	"repro/internal/pp"
 	"repro/internal/precision"
 )
 
@@ -9,6 +10,14 @@ import (
 // (2) fast barotropic subcycle updating SSH and the depth-mean flow,
 // (3) conservative tracer transport, (4) optional FP32 group quantization
 // under the mixed-precision policy.
+//
+// The numerics live in kernels.go as registered pp kernels; Step and its
+// phase drivers only bind views, run halo exchanges, and launch. Under
+// pp.PrecF64 (any Serial/Host/CPE space) the float64 instantiations run and
+// the results are bit-for-bit with the pre-kernel-layer code; under a Vec
+// space (pp.PrecMixed) the dynamical kernels run their float32
+// instantiations against mirror buffers while the pressure integral, split
+// correction, and tracer transport stay float64.
 //
 // After the first call warms the persistent scratch buffers, Step performs
 // zero heap allocations in the default (FP64, no Ri mixing) configuration
@@ -34,14 +43,17 @@ func (o *Ocean) Step() {
 	o.steps++
 }
 
-// scrEnsure builds the persistent scratch and binds the row kernels once.
+// scrEnsure builds the persistent scratch and the bound kernel argument
+// bundles once. Per-step parameters are plain fields on the bundles, set by
+// the drivers before each launch — explicit arguments, not a side channel
+// threaded through the Ocean struct.
 func (o *Ocean) scrEnsure() *stepScratch {
 	if o.scr != nil {
 		return o.scr
 	}
 	n2 := o.LNI * o.LNJ
 	n3 := o.NL * n2
-	o.scr = &stepScratch{
+	s := &stepScratch{
 		pr:   make([]float64, n3),
 		u:    make([]float64, n3),
 		v:    make([]float64, n3),
@@ -51,14 +63,89 @@ func (o *Ocean) scrEnsure() *stepScratch {
 		ubar: make([]float64, n2),
 		vbar: make([]float64, n2),
 	}
-	o.scr.surfT = o.surfaceTForcing
-	o.scr.surfS = o.surfaceSForcing
-	o.kernMomentum = o.momentumRow
-	o.kernContinuity = o.continuityRow
-	o.kernBtMomentum = o.btMomentumRow
-	o.kernSplit = o.splitRow
-	o.kernAdv = o.advectRow
-	return o.scr
+	geo := kernGeom{
+		LNI: o.LNI, LNJ: o.LNJ,
+		NI: o.B.NI, NJ: o.B.NJ,
+		NL: o.NL, H: o.B.H, J0: o.B.J0, NY: o.G.NY,
+		n2: n2,
+	}
+	// Per-global-row geometry, precomputed with the same float64 operations
+	// the scalar kernels performed inline, so reading the tables back is
+	// bit-identical.
+	cor := make([]float64, o.G.NY)
+	corMid := make([]float64, o.G.NY)
+	rhoDx := make([]float64, o.G.NY)
+	dxSouth := make([]float64, o.G.NY)
+	for j := 0; j < o.G.NY; j++ {
+		cor[j] = o.G.Coriolis(j)
+		corMid[j] = 0.5 * (cor[j] + o.G.Coriolis(minIntCap(j+1, o.G.NY-1)))
+		rhoDx[j] = Rho0 * o.G.DX[j]
+		dxSouth[j] = dxAt(o.G, j-1)
+	}
+
+	s.mom = &momentumArgs[float64]{
+		g: geo, kmt: o.kmt,
+		dy: o.G.DY, grav: Gravity, ah: o.Cfg.AH, bdrag: o.Cfg.BottomDrag,
+		rhoDz0: Rho0 * o.dz[0], rhoDy: Rho0 * o.G.DY,
+		cor: cor, corMid: corMid, dx: o.G.DX, rhoDx: rhoDx,
+	}
+	s.mom.rowF = s.mom.row
+	s.cont = &continuityArgs[float64]{
+		g: geo, kmt: o.kmt, maskT: o.maskT,
+		dy: o.G.DY, dx: o.G.DX, dxSouth: dxSouth, depth: o.depth,
+	}
+	s.cont.rowF = s.cont.row
+	s.bt = &btMomentumArgs[float64]{
+		g: geo, kmt: o.kmt, maskT: o.maskT,
+		dy: o.G.DY, grav: Gravity, bdrag: o.Cfg.BottomDrag, rho0: Rho0,
+		cor: cor, dx: o.G.DX, depth: o.depth,
+	}
+	s.bt.rowF = s.bt.row
+	s.split = &splitArgs{
+		g: geo, kmt: o.kmt, dz: o.dz,
+		u: nil, v: nil, ubar: nil, vbar: nil,
+	}
+	s.split.rowF = s.split.row
+	s.adv = &advectArgs{
+		g: geo, kmt: o.kmt, maskT: o.maskT,
+		dy: o.G.DY, kh: o.Cfg.KH, kv: o.Cfg.KV,
+		dx: o.G.DX, dxSouth: dxSouth, dz: o.dz,
+	}
+	s.adv.rowF = s.adv.row
+
+	if o.kprec == pp.PrecMixed {
+		m := &mixed32{
+			u: make([]float32, n3), v: make([]float32, n3),
+			newU: make([]float32, n3), newV: make([]float32, n3),
+			eta: make([]float32, n2), newEta: make([]float32, n2),
+			ubar: make([]float32, n2), vbar: make([]float32, n2),
+			newUbar: make([]float32, n2), newVbar: make([]float32, n2),
+			tauX: make([]float32, n2), tauY: make([]float32, n2),
+			depth: make([]float32, n2),
+		}
+		pp.Convert32(m.depth, o.depth) // static bathymetry, converted once
+		m.mom = &momentumArgs[float32]{
+			g: geo, kmt: o.kmt,
+			dy: float32(o.G.DY), grav: Gravity, ah: float32(o.Cfg.AH), bdrag: float32(o.Cfg.BottomDrag),
+			rhoDz0: Rho0 * o.dz[0], rhoDy: Rho0 * o.G.DY,
+			cor: cor, corMid: corMid, dx: o.G.DX, rhoDx: rhoDx,
+		}
+		m.mom.rowF = m.mom.row
+		m.cont = &continuityArgs[float32]{
+			g: geo, kmt: o.kmt, maskT: o.maskT,
+			dy: float32(o.G.DY), dx: o.G.DX, dxSouth: dxSouth, depth: m.depth,
+		}
+		m.cont.rowF = m.cont.row
+		m.bt = &btMomentumArgs[float32]{
+			g: geo, kmt: o.kmt, maskT: o.maskT,
+			dy: float32(o.G.DY), grav: Gravity, bdrag: float32(o.Cfg.BottomDrag), rho0: Rho0,
+			cor: cor, dx: o.G.DX, depth: m.depth,
+		}
+		m.bt.rowF = m.bt.row
+		s.m32 = m
+	}
+	o.scr = s
+	return s
 }
 
 // baroclinicMomentum applies Coriolis, surface-slope and baroclinic
@@ -66,7 +153,6 @@ func (o *Ocean) scrEnsure() *stepScratch {
 // the 3-D velocity.
 func (o *Ocean) baroclinicMomentum(dt float64) {
 	s := o.scrEnsure()
-	s.dt = dt
 	// One batched split-phase exchange for the whole baroclinic state. Wind
 	// stress is face-averaged, so its halo must be current; it changes every
 	// coupling interval through Import.
@@ -92,9 +178,30 @@ func (o *Ocean) baroclinicMomentum(dt float64) {
 	o.pressureCells(s, h, h+o.B.NJ, 0, h)            // west halo columns
 	o.pressureCells(s, h, h+o.B.NJ, h+o.B.NI, o.LNI) // east halo columns
 
+	if o.kprec == pp.PrecMixed {
+		m := s.m32
+		pp.Convert32(m.u, o.U)
+		pp.Convert32(m.v, o.V)
+		copy(m.newU, m.u) // dry faces keep their (converted) values
+		copy(m.newV, m.v)
+		pp.Convert32(m.eta, o.Eta)
+		pp.Convert32(m.tauX, o.TauX)
+		pp.Convert32(m.tauY, o.TauY)
+		a := m.mom
+		a.dt = float32(dt)
+		a.bind(m.u, m.v, m.newU, m.newV, m.eta, m.tauX, m.tauY, s.pr)
+		pp.Kernels.MustLaunch(hOcnMomentum, o.Sp, a)
+		pp.Convert64(o.U, m.newU)
+		pp.Convert64(o.V, m.newV)
+		return
+	}
+
 	copy(s.u, o.U)
 	copy(s.v, o.V)
-	o.Sp.ParallelFor(o.B.NJ, o.kernMomentum)
+	a := s.mom
+	a.dt = dt
+	a.bind(o.U, o.V, s.u, s.v, o.Eta, o.TauX, o.TauY, s.pr)
+	pp.Kernels.MustLaunch(hOcnMomentum, o.Sp, a)
 	o.U, s.u = s.u, o.U
 	o.V, s.v = s.v, o.V
 }
@@ -104,7 +211,9 @@ func (o *Ocean) baroclinicMomentum(dt float64) {
 // [i0, i1) — halo offsets included, not owned coordinates. The persistent
 // buffer is not zeroed between calls: the momentum kernel only reads pr at
 // wet faces, i.e. within the kmt range of both adjacent columns, and exactly
-// those entries are rewritten here every call.
+// those entries are rewritten here every call. The integral stays float64
+// under every precision mode — it is the accumulation the mixed policy
+// protects.
 func (o *Ocean) pressureCells(s *stepScratch, j0, j1, i0, i1 int) {
 	n2 := o.LNI * o.LNJ
 	for j := j0; j < j1; j++ {
@@ -123,74 +232,6 @@ func (o *Ocean) pressureCells(s *stepScratch, j0, j1, i0, i1 int) {
 	}
 }
 
-// momentumRow is the baroclinic momentum kernel for one owned row. It reads
-// its step parameters from the scratch area (set by baroclinicMomentum) so
-// the kernel value is bound once instead of closed over per call.
-func (o *Ocean) momentumRow(lj int) {
-	s := o.scr
-	dt := s.dt
-	pr, newU, newV := s.pr, s.u, s.v
-	n2 := o.LNI * o.LNJ
-	jg := o.B.J0 + lj
-	f := o.G.Coriolis(jg)
-	dxT := o.G.DX[jg]
-	dy := o.G.DY
-	for li := 0; li < o.B.NI; li++ {
-		c := o.idx2(li, lj)
-		e := c + 1
-		n := c + o.LNI
-		for k := 0; k < o.NL; k++ {
-			i3 := k*n2 + c
-			// U face (east of cell li).
-			if o.faceWetU(k, li, lj) {
-				// Average V onto the U point (4-point).
-				vav := 0.25 * (o.V[i3] + o.V[i3+1] + o.V[i3-o.LNI] + o.V[i3-o.LNI+1])
-				du := f * vav
-				du -= Gravity * (o.Eta[e] - o.Eta[c]) / dxT
-				du -= (pr[k*n2+e] - pr[k*n2+c]) / (Rho0 * dxT)
-				du += o.Cfg.AH * o.lap(o.U, k, li, lj, dxT, dy)
-				if k == 0 {
-					tau := 0.5 * (o.TauX[c] + o.TauX[e])
-					du += tau / (Rho0 * o.dz[0])
-				}
-				if k == minInt(o.kmt[c], o.kmt[e])-1 {
-					du -= o.Cfg.BottomDrag * o.U[i3] // Rayleigh drag
-				}
-				newU[i3] = o.U[i3] + dt*du
-			}
-			// V face (north of cell lj).
-			if o.faceWetV(k, li, lj) {
-				fv := o.G.Coriolis(minIntCap(jg+1, o.G.NY-1))
-				fm := 0.5 * (f + fv)
-				uav := 0.25 * (o.U[i3] + o.U[i3-1] + o.U[k*n2+n] + o.U[k*n2+n-1])
-				dv := -fm * uav
-				dv -= Gravity * (o.Eta[n] - o.Eta[c]) / dy
-				dv -= (pr[k*n2+n] - pr[k*n2+c]) / (Rho0 * dy)
-				dv += o.Cfg.AH * o.lap(o.V, k, li, lj, dxT, dy)
-				if k == 0 {
-					tau := 0.5 * (o.TauY[c] + o.TauY[n])
-					dv += tau / (Rho0 * o.dz[0])
-				}
-				if k == minInt(o.kmt[c], o.kmt[n])-1 {
-					dv -= o.Cfg.BottomDrag * o.V[i3]
-				}
-				newV[i3] = o.V[i3] + dt*dv
-			}
-		}
-	}
-}
-
-// lap is the 5-point Laplacian of a 3-D field at level k, owned cell
-// (li, lj), masked to wet faces.
-func (o *Ocean) lap(fld []float64, k, li, lj int, dx, dy float64) float64 {
-	n2 := o.LNI * o.LNJ
-	i3 := k*n2 + o.idx2(li, lj)
-	c := fld[i3]
-	lapx := (fld[i3+1] - 2*c + fld[i3-1]) / (dx * dx)
-	lapy := (fld[i3+o.LNI] - 2*c + fld[i3-o.LNI]) / (dy * dy)
-	return lapx + lapy
-}
-
 // barotropicCycle subcycles the 2-D free-surface equations with the
 // standard forward-backward scheme (continuity first, then momentum using
 // the updated surface height — neutrally stable for the external gravity
@@ -199,132 +240,160 @@ func (o *Ocean) lap(fld []float64, k, li, lj int, dx, dy float64) float64 {
 func (o *Ocean) barotropicCycle(dt float64) {
 	s := o.scrEnsure()
 	nsub := o.Cfg.NBarotropicSub
-	s.dtb = dt / float64(nsub)
+	dtb := dt / float64(nsub)
+
+	if o.kprec == pp.PrecMixed {
+		o.barotropicCycleMixed(s, dtb, nsub)
+	} else {
+		for sub := 0; sub < nsub; sub++ {
+			s.ex = append(s.ex[:0],
+				grid.HaloField{Data: o.Ubar, NLev: 1, Vec: true},
+				grid.HaloField{Data: o.Vbar, NLev: 1, Vec: true},
+				grid.HaloField{Data: o.Eta, NLev: 1},
+			)
+			o.B.ExchangeFields(s.ex)
+
+			// --- Continuity (forward): η from the current transports ---
+			copy(s.eta, o.Eta)
+			c := s.cont
+			c.dtb = dtb
+			c.bind(o.Eta, s.eta, o.Ubar, o.Vbar)
+			pp.Kernels.MustLaunch(hOcnContinuity, o.Sp, c)
+			o.Eta, s.eta = s.eta, o.Eta
+			o.B.Exchange(o.Eta)
+
+			// --- Momentum (backward): transports from the new η ---
+			copy(s.ubar, o.Ubar)
+			copy(s.vbar, o.Vbar)
+			b := s.bt
+			b.dtb = dtb
+			b.bind(o.Eta, o.Ubar, o.Vbar, s.ubar, s.vbar, o.TauX, o.TauY)
+			pp.Kernels.MustLaunch(hOcnBtMomentum, o.Sp, b)
+			o.Ubar, s.ubar = s.ubar, o.Ubar
+			o.Vbar, s.vbar = s.vbar, o.Vbar
+		}
+	}
+
+	// Split correction: impose the barotropic depth-mean on the 3-D field.
+	// Always float64 — the depth-mean accumulation is conservation-critical.
+	sp := s.split
+	sp.u, sp.v, sp.ubar, sp.vbar = o.U, o.V, o.Ubar, o.Vbar
+	pp.Kernels.MustLaunch(hOcnSplit, o.Sp, sp)
+}
+
+// barotropicCycleMixed runs the subcycle on float32 mirrors. Halo exchanges
+// stay on the float64 fields; between kernel launches only the H-wide rings
+// convert — the owned boundary ring float32→float64 before neighbours read
+// it, the halo frame float64→float32 after it is written — so the per-substep
+// conversion cost is O(perimeter), not O(area).
+func (o *Ocean) barotropicCycleMixed(s *stepScratch, dtb float64, nsub int) {
+	m := s.m32
+	pp.Convert32(m.ubar, o.Ubar)
+	pp.Convert32(m.vbar, o.Vbar)
+	pp.Convert32(m.eta, o.Eta)
+	// Land and dry-face cells are never written by the kernels; seed the
+	// double buffers so they carry the same values across swaps.
+	copy(m.newEta, m.eta)
+	copy(m.newUbar, m.ubar)
+	copy(m.newVbar, m.vbar)
 	for sub := 0; sub < nsub; sub++ {
+		o.syncOwnedRing64(o.Ubar, m.ubar)
+		o.syncOwnedRing64(o.Vbar, m.vbar)
+		o.syncOwnedRing64(o.Eta, m.eta)
 		s.ex = append(s.ex[:0],
 			grid.HaloField{Data: o.Ubar, NLev: 1, Vec: true},
 			grid.HaloField{Data: o.Vbar, NLev: 1, Vec: true},
 			grid.HaloField{Data: o.Eta, NLev: 1},
 		)
 		o.B.ExchangeFields(s.ex)
+		o.syncHaloRing32(m.ubar, o.Ubar)
+		o.syncHaloRing32(m.vbar, o.Vbar)
+		o.syncHaloRing32(m.eta, o.Eta)
 
-		// --- Continuity (forward): η from the current transports ---
-		copy(s.eta, o.Eta)
-		o.Sp.ParallelFor(o.B.NJ, o.kernContinuity)
-		o.Eta, s.eta = s.eta, o.Eta
+		c := m.cont
+		c.dtb = float32(dtb)
+		c.bind(m.eta, m.newEta, m.ubar, m.vbar)
+		pp.Kernels.MustLaunch(hOcnContinuity, o.Sp, c)
+		m.eta, m.newEta = m.newEta, m.eta
+		o.syncOwnedRing64(o.Eta, m.eta)
 		o.B.Exchange(o.Eta)
+		o.syncHaloRing32(m.eta, o.Eta)
 
-		// --- Momentum (backward): transports from the new η ---
-		copy(s.ubar, o.Ubar)
-		copy(s.vbar, o.Vbar)
-		o.Sp.ParallelFor(o.B.NJ, o.kernBtMomentum)
-		o.Ubar, s.ubar = s.ubar, o.Ubar
-		o.Vbar, s.vbar = s.vbar, o.Vbar
+		b := m.bt
+		b.dtb = float32(dtb)
+		b.bind(m.eta, m.ubar, m.vbar, m.newUbar, m.newVbar, m.tauX, m.tauY)
+		pp.Kernels.MustLaunch(hOcnBtMomentum, o.Sp, b)
+		m.ubar, m.newUbar = m.newUbar, m.ubar
+		m.vbar, m.newVbar = m.newVbar, m.vbar
 	}
-
-	// Split correction: impose the barotropic depth-mean on the 3-D field.
-	o.Sp.ParallelFor(o.B.NJ, o.kernSplit)
+	pp.Convert64(o.Ubar, m.ubar)
+	pp.Convert64(o.Vbar, m.vbar)
+	pp.Convert64(o.Eta, m.eta)
 }
 
-// continuityRow is the barotropic continuity kernel for one owned row,
-// writing the updated η into the scratch double buffer.
-func (o *Ocean) continuityRow(lj int) {
-	s := o.scr
-	dtb := s.dtb
-	newEta := s.eta
-	jg := o.B.J0 + lj
-	dxT := o.G.DX[jg]
-	dy := o.G.DY
-	for li := 0; li < o.B.NI; li++ {
-		c := o.idx2(li, lj)
-		if !o.maskT[c] {
+// syncOwnedRing64 copies the H-wide owned boundary ring from the float32
+// mirror into the float64 field — exactly the cells a halo exchange reads
+// (what neighbours, the zonal wrap, and the pole fold receive).
+func (o *Ocean) syncOwnedRing64(dst []float64, src []float32) {
+	H, NI, NJ := o.B.H, o.B.NI, o.B.NJ
+	top := H
+	if top > NJ {
+		top = NJ
+	}
+	for r := 0; r < top; r++ {
+		o.convRow64(dst, src, r)
+		if NJ-1-r > r {
+			o.convRow64(dst, src, NJ-1-r)
+		}
+	}
+	side := H
+	if side > NI {
+		side = NI
+	}
+	for lj := H; lj < NJ-H; lj++ {
+		for ci := 0; ci < side; ci++ {
+			a := o.idx2(ci, lj)
+			dst[a] = float64(src[a])
+			if NI-1-ci > ci {
+				b := o.idx2(NI-1-ci, lj)
+				dst[b] = float64(src[b])
+			}
+		}
+	}
+}
+
+func (o *Ocean) convRow64(dst []float64, src []float32, lj int) {
+	base := o.idx2(0, lj)
+	for i := 0; i < o.B.NI; i++ {
+		dst[base+i] = float64(src[base+i])
+	}
+}
+
+// syncHaloRing32 refreshes the float32 mirror's halo frame (including
+// corners) from the float64 field after an exchange wrote it.
+func (o *Ocean) syncHaloRing32(dst []float32, src []float64) {
+	H, LNI, LNJ := o.B.H, o.LNI, o.LNJ
+	for jr := 0; jr < LNJ; jr++ {
+		base := jr * LNI
+		if jr < H || jr >= LNJ-H {
+			for i := 0; i < LNI; i++ {
+				dst[base+i] = float32(src[base+i])
+			}
 			continue
 		}
-		e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
-		he := faceDepth(o.depth[c], o.depth[e])
-		hw := faceDepth(o.depth[w], o.depth[c])
-		hn := faceDepth(o.depth[c], o.depth[n])
-		hs := faceDepth(o.depth[sIdx], o.depth[c])
-		fe := o.Ubar[c] * he * dy
-		fw := o.Ubar[w] * hw * dy
-		fn := 0.0
-		if o.faceWetV(0, li, lj) {
-			fn = o.Vbar[c] * hn * dxT
+		for i := 0; i < H; i++ {
+			dst[base+i] = float32(src[base+i])
+			dst[base+LNI-1-i] = float32(src[base+LNI-1-i])
 		}
-		fs := 0.0
-		if !o.southClosed(lj) {
-			fs = o.Vbar[sIdx] * hs * dxAt(o.G, jg-1)
-		}
-		area := dxT * dy
-		newEta[c] = o.Eta[c] - dtb*(fe-fw+fn-fs)/area
-	}
-}
-
-// btMomentumRow is the barotropic momentum kernel for one owned row,
-// writing the updated transports into the scratch double buffers.
-func (o *Ocean) btMomentumRow(lj int) {
-	s := o.scr
-	dtb := s.dtb
-	newUb, newVb := s.ubar, s.vbar
-	jg := o.B.J0 + lj
-	f := o.G.Coriolis(jg)
-	dxT := o.G.DX[jg]
-	dy := o.G.DY
-	for li := 0; li < o.B.NI; li++ {
-		c := o.idx2(li, lj)
-		if !o.maskT[c] {
-			continue
-		}
-		e, w, n, sIdx := c+1, c-1, c+o.LNI, c-o.LNI
-		he := faceDepth(o.depth[c], o.depth[e])
-		hn := faceDepth(o.depth[c], o.depth[n])
-		if o.faceWetU(0, li, lj) {
-			vav := 0.25 * (o.Vbar[c] + o.Vbar[e] + o.Vbar[sIdx] + o.Vbar[sIdx+1])
-			du := f*vav - Gravity*(o.Eta[e]-o.Eta[c])/dxT
-			du += 0.5 * (o.TauX[c] + o.TauX[e]) / (Rho0 * maxF(he, 1))
-			du -= o.Cfg.BottomDrag * o.Ubar[c]
-			newUb[c] = o.Ubar[c] + dtb*du
-		}
-		if o.faceWetV(0, li, lj) {
-			uav := 0.25 * (o.Ubar[c] + o.Ubar[w] + o.Ubar[n] + o.Ubar[n-1])
-			dv := -f*uav - Gravity*(o.Eta[n]-o.Eta[c])/dy
-			dv += 0.5 * (o.TauY[c] + o.TauY[n]) / (Rho0 * maxF(hn, 1))
-			dv -= o.Cfg.BottomDrag * o.Vbar[c]
-			newVb[c] = o.Vbar[c] + dtb*dv
-		}
-	}
-}
-
-// splitRow applies the split correction to one owned row.
-func (o *Ocean) splitRow(lj int) {
-	n2 := o.LNI * o.LNJ
-	for li := 0; li < o.B.NI; li++ {
-		c := o.idx2(li, lj)
-		o.imposeMean(o.U, o.Ubar, c, minInt(o.kmt[c], o.kmt[c+1]), n2)
-		o.imposeMean(o.V, o.Vbar, c, minInt(o.kmt[c], o.kmt[c+o.LNI]), n2)
-	}
-}
-
-// imposeMean shifts a velocity column so its depth mean equals the
-// barotropic value.
-func (o *Ocean) imposeMean(f []float64, bar []float64, c, kmax, n2 int) {
-	if kmax <= 0 {
-		return
-	}
-	var sum, h float64
-	for k := 0; k < kmax; k++ {
-		sum += f[k*n2+c] * o.dz[k]
-		h += o.dz[k]
-	}
-	shift := bar[c] - sum/h
-	for k := 0; k < kmax; k++ {
-		f[k*n2+c] += shift
 	}
 }
 
 // tracerStep advances temperature and salinity with conservative upwind
 // flux-form advection, Laplacian diffusion, explicit vertical diffusion,
-// and the surface heat / freshwater forcing.
+// and the surface heat / freshwater forcing. Tracer transport is float64
+// under every precision mode: the flux-form update telescopes exactly, which
+// is what keeps the 1e-10 conservation audit closed even when the advecting
+// velocities came through the float32 kernels.
 func (o *Ocean) tracerStep(dt float64) {
 	s := o.scrEnsure()
 	s.ex = append(s.ex[:0],
@@ -334,26 +403,25 @@ func (o *Ocean) tracerStep(dt float64) {
 		grid.HaloField{Data: o.V, NLev: o.NL, Vec: true},
 	)
 	o.B.ExchangeFields(s.ex)
-	o.advectDiffuseInto(o.T, s.t, dt, s.surfT)
+	o.advectDiffuseInto(o.T, s.t, dt, o.QHeat, o.surfTDen())
 	o.T, s.t = s.t, o.T
-	o.advectDiffuseInto(o.S, s.s, dt, s.surfS)
+	o.advectDiffuseInto(o.S, s.s, dt, o.FWFlux, 1)
 	o.S, s.s = s.s, o.S
 }
 
-func (o *Ocean) surfaceTForcing(c int) float64 {
-	return o.QHeat[c] / (Rho0 * Cp * o.dz[0])
-}
-
-func (o *Ocean) surfaceSForcing(c int) float64 {
-	return o.FWFlux[c]
-}
+// surfTDen is the denominator turning the surface heat flux (W/m²) into a
+// temperature tendency for the top layer — the same float64 product the old
+// surfaceTForcing closure evaluated per cell.
+func (o *Ocean) surfTDen() float64 { return Rho0 * Cp * o.dz[0] }
 
 // advectDiffuse computes one conservative tracer update into a fresh slice.
 // It is the allocating convenience form kept for the compact-sweep
-// comparisons; the stepping hot path uses advectDiffuseInto.
-func (o *Ocean) advectDiffuse(tr []float64, dt float64, surf func(c int) float64) []float64 {
+// comparisons; the stepping hot path uses advectDiffuseInto. surf is the
+// per-cell surface forcing field and surfDen its constant denominator
+// (pass 1 for none).
+func (o *Ocean) advectDiffuse(tr []float64, dt float64, surf []float64, surfDen float64) []float64 {
 	out := make([]float64, len(tr))
-	o.advectDiffuseInto(tr, out, dt, surf)
+	o.advectDiffuseInto(tr, out, dt, surf, surfDen)
 	return out
 }
 
@@ -362,127 +430,13 @@ func (o *Ocean) advectDiffuse(tr []float64, dt float64, surf func(c int) float64
 // Fluxes are evaluated once per face from the cell pair it separates, so
 // the sum of tracer content changes only through the (zero) boundary and
 // the surface forcing — the conservation property the tests assert.
-func (o *Ocean) advectDiffuseInto(tr, out []float64, dt float64, surf func(c int) float64) {
+func (o *Ocean) advectDiffuseInto(tr, out []float64, dt float64, surf []float64, surfDen float64) {
 	copy(out, tr)
 	s := o.scrEnsure()
-	s.advTr, s.advOut, s.advDt, s.advSurf = tr, out, dt, surf
-	o.Sp.ParallelFor(o.B.NJ, o.kernAdv)
-	s.advTr, s.advOut, s.advSurf = nil, nil, nil
-}
-
-// advectRow is the tracer advection–diffusion kernel for one owned row.
-func (o *Ocean) advectRow(lj int) {
-	s := o.scr
-	for li := 0; li < o.B.NI; li++ {
-		if o.maskT[o.idx2(li, lj)] {
-			o.updateColumn(s.advTr, s.advOut, s.advDt, li, lj, s.advSurf)
-		}
-	}
-}
-
-// updateColumn applies the conservative advection–diffusion update to every
-// active level of one wet column. It is shared by the full-grid sweep and
-// the compacted wet-column sweep (§5.2.2), which must agree bit for bit.
-func (o *Ocean) updateColumn(tr, out []float64, dt float64, li, lj int, surf func(c int) float64) {
-	n2 := o.LNI * o.LNJ
-	jg := o.B.J0 + lj
-	dxT := o.G.DX[jg]
-	dy := o.G.DY
-	area := dxT * dy
-	c := o.idx2(li, lj)
-	for k := 0; k < o.kmt[c]; k++ {
-		i3 := k*n2 + c
-		vol := area * o.dz[k]
-		var div float64
-
-		// East face flux (positive = out of this cell).
-		if o.faceWetU(k, li, lj) {
-			div += faceFlux(o.U[i3], tr[i3], tr[i3+1], dy*o.dz[k], o.Cfg.KH, dxT)
-		}
-		// West face (owned by the western cell; recompute mirrored).
-		if o.kmt[c-1] > k && o.kmt[c] > k {
-			div -= faceFlux(o.U[i3-1], tr[i3-1], tr[i3], dy*o.dz[k], o.Cfg.KH, dxT)
-		}
-		// North face.
-		if o.faceWetV(k, li, lj) {
-			div += faceFlux(o.V[i3], tr[i3], tr[i3+o.LNI], dxT*o.dz[k], o.Cfg.KH, dy)
-		}
-		// South face (closed at the southern wall).
-		if !o.southClosed(lj) && o.kmt[c-o.LNI] > k && o.kmt[c] > k {
-			div -= faceFlux(o.V[i3-o.LNI], tr[i3-o.LNI], tr[i3], dxAt(o.G, jg-1)*o.dz[k], o.Cfg.KH, dy)
-		}
-
-		upd := tr[i3] - dt*div/vol
-
-		// Explicit vertical diffusion in flux form: the flux through
-		// the interface between levels k-1 and k uses the interface
-		// spacing, so content moves between layers without loss.
-		if k > 0 {
-			dzw := 0.5 * (o.dz[k-1] + o.dz[k])
-			upd += dt * o.Cfg.KV * (tr[i3-n2] - tr[i3]) / (dzw * o.dz[k])
-		}
-		if k < o.kmt[c]-1 {
-			dzw := 0.5 * (o.dz[k] + o.dz[k+1])
-			upd += dt * o.Cfg.KV * (tr[i3+n2] - tr[i3]) / (dzw * o.dz[k])
-		}
-		if k == 0 {
-			upd += dt * surf(c)
-		}
-		out[i3] = upd
-	}
-}
-
-// faceFlux returns the combined upwind-advective and diffusive tracer flux
-// through one face: u·len·T_up − K·len·(T2−T1)/d.
-func faceFlux(u, t1, t2, faceArea, kh, d float64) float64 {
-	var adv float64
-	if u >= 0 {
-		adv = u * faceArea * t1
-	} else {
-		adv = u * faceArea * t2
-	}
-	return adv - kh*faceArea*(t2-t1)/d
-}
-
-// faceDepth is the depth at a velocity face: the shallower neighbour
-// (no flow into a cliff).
-func faceDepth(a, b float64) float64 {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// dxAt returns the zonal spacing at a (possibly out-of-range) global row:
-// clamped at the southern boundary, reflected across the northern fold.
-func dxAt(g *grid.Tripolar, j int) float64 {
-	if j < 0 {
-		j = 0
-	}
-	if j >= g.NY {
-		j = 2*g.NY - 1 - j
-	}
-	return g.DX[j]
-}
-
-func minInt(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-// minIntCap clamps a to at most cap.
-func minIntCap(a, cap int) int {
-	if a > cap {
-		return cap
-	}
-	return a
-}
-
-func maxF(a, b float64) float64 {
-	if a > b {
-		return a
-	}
-	return b
+	a := s.adv
+	a.tr, a.out, a.dt = tr, out, dt
+	a.u, a.v = o.U, o.V
+	a.surf, a.surfDen = surf, surfDen
+	pp.Kernels.MustLaunch(hOcnAdvect, o.Sp, a)
+	a.tr, a.out, a.surf = nil, nil, nil
 }

@@ -1,0 +1,50 @@
+package pp
+
+import "fmt"
+
+// Float is the type-parameter constraint for single-source kernel bodies:
+// one generic body instantiates at float64 (the bit-for-bit reference path)
+// and at float32 (the vectorized mixed-precision path). This is the Go
+// analogue of templating a Kokkos kernel over its scalar type — the FESOM2
+// Fortran→Kokkos port keeps one kernel source across precisions the same
+// way.
+type Float interface {
+	~float32 | ~float64
+}
+
+// Prec selects which instantiation of the kernel bodies a component runs.
+type Prec int
+
+const (
+	// PrecF64 runs every kernel in float64 — bit-for-bit with the
+	// pre-kernel-layer scalar code on Serial/Host/CPE.
+	PrecF64 Prec = iota
+	// PrecMixed runs the ported hot kernels in float32 with unrolled inner
+	// loops, keeping accumulations, pressure/geopotential integrals, and
+	// tracer transport in float64 (the precision policy in DESIGN.md).
+	PrecMixed
+)
+
+// String implements fmt.Stringer, matching the -kprec flag spellings.
+func (p Prec) String() string {
+	switch p {
+	case PrecF64:
+		return "f64"
+	case PrecMixed:
+		return "mixed"
+	default:
+		return fmt.Sprintf("Prec(%d)", int(p))
+	}
+}
+
+// ParsePrec parses the -kprec flag value.
+func ParsePrec(s string) (Prec, error) {
+	switch s {
+	case "f64", "F64", "float64", "":
+		return PrecF64, nil
+	case "mixed", "Mixed", "f32", "float32":
+		return PrecMixed, nil
+	default:
+		return PrecF64, fmt.Errorf("pp: unknown kernel precision %q (want f64 or mixed)", s)
+	}
+}

@@ -1,0 +1,60 @@
+package pp
+
+import (
+	"math"
+	"testing"
+)
+
+// The float64 instantiation of Exp must be math.Exp bit-for-bit — that is
+// what lets kernel bodies call it and keep the f64 path pinned by the
+// golden tests.
+func TestExpFloat64BitForBit(t *testing.T) {
+	for x := -50.0; x <= 50.0; x += 0.7 {
+		if got, want := Exp(x), math.Exp(x); got != want {
+			t.Fatalf("Exp[float64](%v) = %v, want math.Exp = %v", x, got, want)
+		}
+	}
+}
+
+// FastExpf must track math.Exp within a few float32 ulps across the range
+// the radiation and kernel sweeps use (attenuation arguments are negative;
+// moderate positive arguments ride along for generality).
+func TestFastExpfAccuracy(t *testing.T) {
+	worst := 0.0
+	for x := -86.0; x <= 60.0; x += 0.0173 {
+		got := float64(FastExpf(float32(x)))
+		want := math.Exp(float64(float32(x)))
+		rel := math.Abs(got-want) / want
+		if rel > worst {
+			worst = rel
+		}
+		if rel > 1e-6 {
+			t.Fatalf("FastExpf(%v) = %v, want %v (rel err %.3e)", x, got, want, rel)
+		}
+	}
+	t.Logf("worst relative error %.3e", worst)
+	if worst > 5e-7 {
+		t.Errorf("worst relative error %.3e exceeds the 5e-7 design envelope", worst)
+	}
+}
+
+// The edge behaviour the kernels rely on: saturated attenuation underflows
+// cleanly to zero, overflow saturates to +Inf, NaN propagates, and the
+// float32 instantiation of the generic Exp routes through FastExpf.
+func TestFastExpfEdges(t *testing.T) {
+	if got := FastExpf(-200); got != 0 {
+		t.Errorf("FastExpf(-200) = %v, want 0", got)
+	}
+	if got := FastExpf(200); !math.IsInf(float64(got), 1) {
+		t.Errorf("FastExpf(200) = %v, want +Inf", got)
+	}
+	if got := FastExpf(float32(math.NaN())); got == got {
+		t.Errorf("FastExpf(NaN) = %v, want NaN", got)
+	}
+	if got := FastExpf(0); got != 1 {
+		t.Errorf("FastExpf(0) = %v, want 1", got)
+	}
+	if got, want := Exp(float32(-3.25)), FastExpf(-3.25); got != want {
+		t.Errorf("Exp[float32](-3.25) = %v, want FastExpf = %v", got, want)
+	}
+}

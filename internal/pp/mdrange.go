@@ -54,6 +54,15 @@ func (r *MDRange) NumTiles() int {
 	return n
 }
 
+// Size returns the total number of iterations in the range.
+func (r *MDRange) Size() int {
+	n := 1
+	for d := range r.Lower {
+		n *= r.Upper[d] - r.Lower[d]
+	}
+	return n
+}
+
 // tileBounds decodes flat tile index t into per-dimension [lo,hi) bounds.
 func (r *MDRange) tileBounds(t int) (lo, hi []int) {
 	nd := len(r.Lower)
@@ -101,6 +110,7 @@ func ParallelForMD2(s Space, r *MDRange, profile bool, f func(i, j int)) *TileSt
 		panic(fmt.Sprintf("pp: ParallelForMD2 on rank-%d range", len(r.Lower)))
 	}
 	nt := r.NumTiles()
+	countMD(s, nt, r.Size())
 	var stats *TileStats
 	var mu sync.Mutex
 	if profile {
@@ -134,7 +144,24 @@ func ParallelForMD2(s Space, r *MDRange, profile bool, f func(i, j int)) *TileSt
 	if profile && nt == 0 {
 		stats.Min = 0
 	}
+	if profile {
+		if in, ok := s.(*Instrumented); ok {
+			stats.Record(in.o, "pp.md")
+		}
+	}
 	return stats
+}
+
+// countMD reports an MD launch and its tile/iteration extents when the space
+// is instrumented. MD dispatch used to reach Instrumented.ParallelFor
+// untyped, so MD launches were indistinguishable from 1-D ones and tile
+// stats bypassed the pp.* counters entirely.
+func countMD(s Space, tiles, iters int) {
+	if in, ok := s.(*Instrumented); ok {
+		in.o.AddCount("pp.md.launches", 1)
+		in.o.AddCount("pp.md.tiles", int64(tiles))
+		in.o.AddCount("pp.md.iters", int64(iters))
+	}
 }
 
 // ParallelForMD3 runs f(i, j, k) over a 3-D MDRange on the space. The outer
@@ -145,6 +172,7 @@ func ParallelForMD3(s Space, r *MDRange, f func(i, j, k int)) {
 		panic(fmt.Sprintf("pp: ParallelForMD3 on rank-%d range", len(r.Lower)))
 	}
 	nt := r.NumTiles()
+	countMD(s, nt, r.Size())
 	s.ParallelFor(nt, func(t int) {
 		lo, hi := r.tileBounds(t)
 		for i := lo[0]; i < hi[0]; i++ {

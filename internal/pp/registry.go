@@ -5,6 +5,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Kernel is a registered parallel kernel: it receives the execution space
@@ -12,16 +13,26 @@ import (
 // are C++ templates that the TMP-constrained device toolchain cannot
 // instantiate; the paper's workaround (§5.3) registers each concrete kernel
 // under a hash at host-compile time and dispatches on the device through a
-// callback table. Registry reproduces that mechanism.
+// callback table. Registry reproduces that mechanism. Kernel bodies select
+// their precision instantiation from PrecOf(s) and read typed arguments out
+// of the bundle, so one registration covers every backend × precision.
 type Kernel func(s Space, args any)
+
+// kernelEntry is one registered kernel. The observer metric name is
+// precomputed at registration and the launch counter is atomic, so Launch
+// does no allocation and takes no write lock on the hot path.
+type kernelEntry struct {
+	name     string
+	metric   string
+	k        Kernel
+	launches atomic.Int64
+}
 
 // Registry maps kernel-name hashes to callbacks.
 type Registry struct {
-	mu      sync.RWMutex
-	byHash  map[uint64]Kernel
-	nameOf  map[uint64]string
-	launces map[uint64]int
-	obs     Observer
+	mu     sync.RWMutex
+	byHash map[uint64]*kernelEntry
+	obs    Observer
 }
 
 // SetObserver forwards per-kernel launch counts to o under
@@ -34,12 +45,13 @@ func (r *Registry) SetObserver(o Observer) {
 
 // NewRegistry returns an empty kernel registry.
 func NewRegistry() *Registry {
-	return &Registry{
-		byHash:  make(map[uint64]Kernel),
-		nameOf:  make(map[uint64]string),
-		launces: make(map[uint64]int),
-	}
+	return &Registry{byHash: make(map[uint64]*kernelEntry)}
 }
+
+// Kernels is the package-level default registry. Components register their
+// hot kernels here at init time and drivers launch through it — one callback
+// table per process, like the paper's host-compiled dispatch table.
+var Kernels = NewRegistry()
 
 // HashName computes the 64-bit FNV-1a hash used as the kernel's registration
 // key, mirroring the paper's hash-based function registration.
@@ -53,17 +65,22 @@ func HashName(name string) uint64 {
 // registration under a colliding hash with a different name is an error —
 // the failure mode the mechanism must guard against.
 func (r *Registry) Register(name string, k Kernel) (uint64, error) {
-	h := HashName(name)
+	return r.registerHashed(HashName(name), name, k)
+}
+
+// registerHashed is the guts of Register with the hash supplied by the
+// caller, so the collision branch is reachable from tests without mining
+// for real FNV-1a collisions.
+func (r *Registry) registerHashed(h uint64, name string, k Kernel) (uint64, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if prev, ok := r.nameOf[h]; ok {
-		if prev != name {
-			return 0, fmt.Errorf("pp: hash collision: %q and %q both hash to %#x", prev, name, h)
+	if prev, ok := r.byHash[h]; ok {
+		if prev.name != name {
+			return 0, fmt.Errorf("pp: hash collision: %q and %q both hash to %#x", prev.name, name, h)
 		}
 		return 0, fmt.Errorf("pp: kernel %q already registered", name)
 	}
-	r.byHash[h] = k
-	r.nameOf[h] = name
+	r.byHash[h] = &kernelEntry{name: name, metric: "pp.kernel." + name, k: k}
 	return h, nil
 }
 
@@ -76,23 +93,36 @@ func (r *Registry) MustRegister(name string, k Kernel) uint64 {
 	return h
 }
 
-// Launch dispatches the kernel registered under hash h on space s.
+// Launch dispatches the kernel registered under hash h on space s. The
+// per-kernel count goes to the registry's observer (if set) and, when s is
+// an Instrumented space, to that space's observer as well — so per-world
+// accounting works without sharing a global observer across concurrent
+// ensemble members.
 func (r *Registry) Launch(h uint64, s Space, args any) error {
 	r.mu.RLock()
-	k, ok := r.byHash[h]
+	e, ok := r.byHash[h]
+	obs := r.obs
 	r.mu.RUnlock()
 	if !ok {
 		return fmt.Errorf("pp: no kernel registered under hash %#x", h)
 	}
-	r.mu.Lock()
-	r.launces[h]++
-	obs, name := r.obs, r.nameOf[h]
-	r.mu.Unlock()
+	e.launches.Add(1)
 	if obs != nil {
-		obs.AddCount("pp.kernel."+name, 1)
+		obs.AddCount(e.metric, 1)
 	}
-	k(s, args)
+	if in, isIn := s.(*Instrumented); isIn && in.o != nil {
+		in.o.AddCount(e.metric, 1)
+	}
+	e.k(s, args)
 	return nil
+}
+
+// MustLaunch is Launch that panics on error, for hot paths launching under
+// hashes obtained from MustRegister (which cannot be unregistered).
+func (r *Registry) MustLaunch(h uint64, s Space, args any) {
+	if err := r.Launch(h, s, args); err != nil {
+		panic(err)
+	}
 }
 
 // LaunchByName is a convenience wrapper hashing the name first.
@@ -104,16 +134,19 @@ func (r *Registry) LaunchByName(name string, s Space, args any) error {
 func (r *Registry) LaunchCount(name string) int {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	return r.launces[HashName(name)]
+	if e, ok := r.byHash[HashName(name)]; ok {
+		return int(e.launches.Load())
+	}
+	return 0
 }
 
 // Names returns the registered kernel names, sorted.
 func (r *Registry) Names() []string {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
-	out := make([]string, 0, len(r.nameOf))
-	for _, n := range r.nameOf {
-		out = append(out, n)
+	out := make([]string, 0, len(r.byHash))
+	for _, e := range r.byHash {
+		out = append(out, e.name)
 	}
 	sort.Strings(out)
 	return out

@@ -1,0 +1,55 @@
+package pp
+
+// Vec is the vectorized mixed-precision execution space. It delegates all
+// scheduling to an inner space (Serial, Host, or CPE keep their iteration
+// order and determinism guarantees) and acts purely as a precision signal:
+// kernels query PrecOf(space) and select their float32 instantiation with
+// unrolled inner loops when launched on a Vec. This mirrors how a Kokkos
+// execution space carries compile-time properties orthogonal to scheduling —
+// the same kernel source runs on every backend, only the scalar type and
+// unroll factor change.
+type Vec struct {
+	inner Space
+}
+
+// NewVec wraps s as a mixed-precision space. Wrapping a Vec is idempotent.
+func NewVec(s Space) *Vec {
+	if v, ok := s.(*Vec); ok {
+		return v
+	}
+	return &Vec{inner: s}
+}
+
+// Unwrap returns the scheduling space underneath.
+func (v *Vec) Unwrap() Space { return v.inner }
+
+// Name implements Space.
+func (v *Vec) Name() string { return "Vec(" + v.inner.Name() + ")" }
+
+// Concurrency implements Space.
+func (v *Vec) Concurrency() int { return v.inner.Concurrency() }
+
+// ParallelFor implements Space by delegating to the inner schedule.
+func (v *Vec) ParallelFor(n int, f func(i int)) { v.inner.ParallelFor(n, f) }
+
+// ParallelReduce implements Space. Reductions keep the inner space's
+// deterministic join order — accumulations are exactly what the mixed
+// policy leaves in float64.
+func (v *Vec) ParallelReduce(n int, identity float64, f func(i int) float64, join func(a, b float64) float64) float64 {
+	return v.inner.ParallelReduce(n, identity, f, join)
+}
+
+// PrecOf reports the precision a kernel launched on s should run at,
+// unwrapping instrumentation layers to find a Vec marker.
+func PrecOf(s Space) Prec {
+	for {
+		switch t := s.(type) {
+		case *Instrumented:
+			s = t.inner
+		case *Vec:
+			return PrecMixed
+		default:
+			return PrecF64
+		}
+	}
+}

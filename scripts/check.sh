@@ -11,8 +11,9 @@
 # ensemble lap (4 members on 2 rank groups, one member permanently
 # failed, quorum 3/4), a serve-race lap storming the forecast store's
 # query paths while it ingests live, a short fuzz of the store's manifest
-# decoder, and the seven benchmarks writing BENCH_1.json through
-# BENCH_7.json at the repo root.
+# decoder, a mixed-kernel-precision race lap plus its audited CLI gate,
+# and the eight benchmarks writing BENCH_1.json through BENCH_8.json at
+# the repo root.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -36,6 +37,8 @@ go test -race ./internal/ensemble -run 'TestTwoWorldsStepConcurrently|TestDispat
 go test -race ./internal/fault -run 'TestPlanConcurrentUse' -count 1
 echo "== compressed wire race lap (gs32 halos + rearrangers, audited)"
 go test -race ./internal/core -run 'TestWireGS32ConservationAudit' -count 1 -short
+echo "== mixed kernel precision race lap (float32 kernel instantiations, audited)"
+go test -race ./internal/core -run 'TestKernelPrecisionMixedConservationAudit' -count 1 -short
 echo "== serve race lap (concurrent query storm against a live ingesting store)"
 go test -race ./internal/statestore -run 'TestConcurrentQueryStorm|TestAnalogPipelineMatchesBruteForce' -count 1
 go test -race ./internal/core -run 'TestServeLiveIngest' -count 1
@@ -49,6 +52,8 @@ echo "== conservation budget gate (cons remap, 4 decomposed ranks, conc schedule
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 4 -schedule conc -remap cons -audit-gate 1e-10
 echo "== compressed wire budget gate (gs32, 2 ranks, conc schedule, 1e-10)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -wire gs32 -audit-gate 1e-10
+echo "== mixed kernel budget gate (kprec mixed, 2 ranks, conc schedule, 1e-10)"
+go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -schedule conc -remap cons -kprec mixed -audit-gate 1e-10
 echo "== resilient rollback lap (2 decomposed ranks, checkpoint + injected NaN)"
 RESTART_DIR="$(mktemp -d)"
 go run ./cmd/ap3esm -config 25v10 -days 0.31 -ranks 2 -remap cons \
@@ -89,3 +94,8 @@ go run ./cmd/bench7 -steps 10 -snapshots 12 -queries 1200 -out /tmp/bench7_smoke
 rm -f /tmp/bench7_smoke.json
 echo "== bench7"
 go run ./cmd/bench7 -out BENCH_7.json
+echo "== bench8 smoke (schema self-validation)"
+go run ./cmd/bench8 -steps 6 -out /tmp/bench8_smoke.json
+rm -f /tmp/bench8_smoke.json
+echo "== bench8"
+go run ./cmd/bench8 -out BENCH_8.json
